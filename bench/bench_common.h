@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ *
+ * Set HERACLES_BENCH_FAST=1 to shorten warmup/measurement phases (~3x
+ * faster, slightly noisier tails) during development.
+ */
+#ifndef HERACLES_BENCH_BENCH_COMMON_H
+#define HERACLES_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/time.h"
+
+namespace heracles::bench {
+
+/** True when HERACLES_BENCH_FAST=1 is set in the environment. */
+inline bool
+FastMode()
+{
+    const char* v = std::getenv("HERACLES_BENCH_FAST");
+    return v != nullptr && std::string(v) == "1";
+}
+
+inline sim::Duration
+Scaled(sim::Duration full, sim::Duration fast)
+{
+    return FastMode() ? fast : full;
+}
+
+}  // namespace heracles::bench
+
+#endif  // HERACLES_BENCH_BENCH_COMMON_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 4: latency of LC applications colocated with BE jobs under
+ * Heracles.
+ *
+ * For each LC workload and each BE job, sweeps load 10%..90% and prints
+ * the worst report-window tail as % of SLO. The paper's headline result:
+ * no SLO violations at any load for any colocation, with the latency
+ * slack reduced relative to the no-colocation baseline. As in the paper,
+ * websearch and ml_cluster with iperf are omitted (they are insensitive
+ * to network interference).
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+
+using namespace heracles;
+
+int
+main()
+{
+    const hw::MachineConfig machine;
+    const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9};
+    const sim::Duration warmup =
+        bench::Scaled(sim::Seconds(180), sim::Seconds(100));
+    const sim::Duration measure =
+        bench::Scaled(sim::Seconds(180), sim::Seconds(60));
+
+    int violations = 0;
+    for (const auto& lc : workloads::AllLcWorkloads()) {
+        exp::PrintBanner("Figure 4: " + lc.name +
+                         " latency with Heracles (% of SLO)");
+
+        std::vector<std::string> headers = {"BE workload"};
+        for (double l : loads) headers.push_back(exp::FormatPct(l));
+        exp::Table table(headers);
+
+        // Baseline: LC alone.
+        {
+            exp::ExperimentConfig cfg;
+            cfg.machine = machine;
+            cfg.lc = lc;
+            cfg.policy = exp::PolicyKind::kNoColocation;
+            cfg.warmup = warmup;
+            cfg.measure = measure;
+            exp::Experiment e(cfg);
+            std::vector<std::string> row = {"baseline"};
+            for (double l : loads) {
+                row.push_back(exp::FormatTailFrac(e.RunAt(l).tail_frac_slo));
+            }
+            table.AddRow(std::move(row));
+            std::fflush(stdout);
+        }
+
+        for (const auto& be : workloads::EvaluationBeSet(machine)) {
+            // The paper omits these network-insensitive combinations.
+            if (be.name == "iperf" && lc.name != "memkeyval") continue;
+
+            exp::ExperimentConfig cfg;
+            cfg.machine = machine;
+            cfg.lc = lc;
+            cfg.be = be;
+            cfg.policy = exp::PolicyKind::kHeracles;
+            cfg.warmup = warmup;
+            cfg.measure = measure;
+            exp::Experiment e(cfg);
+
+            std::vector<std::string> row = {be.name};
+            for (double l : loads) {
+                const auto r = e.RunAt(l);
+                if (r.slo_violated) ++violations;
+                row.push_back(exp::FormatTailFrac(r.tail_frac_slo));
+            }
+            table.AddRow(std::move(row));
+            std::fflush(stdout);
+        }
+        table.Print();
+        std::fflush(stdout);
+    }
+
+    std::printf("\nSLO violations across all colocations and loads: %d\n",
+                violations);
+    std::printf("(the paper reports zero)\n");
+    return violations == 0 ? 0 : 1;
+}

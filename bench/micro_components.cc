@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulation substrate and the
+ * controller's decision path: event queue throughput, histogram
+ * recording and percentile queries, RNG sampling, the per-epoch
+ * contention resolvers, and the bandwidth-model lookup.
+ */
+#include <benchmark/benchmark.h>
+
+#include "heracles/bw_model.h"
+#include "hw/dram.h"
+#include "hw/llc.h"
+#include "hw/machine.h"
+#include "hw/power.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "workloads/lc_configs.h"
+
+using namespace heracles;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i) {
+            q.ScheduleAt(i, [&sink] { ++sink; });
+        }
+        q.RunUntil(2048);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_HistogramRecord(benchmark::State& state)
+{
+    sim::LatencyHistogram h;
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        h.Record(static_cast<sim::Duration>(rng.Exponential(1e6)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void
+BM_HistogramPercentile(benchmark::State& state)
+{
+    sim::LatencyHistogram h;
+    sim::Rng rng(1);
+    for (int i = 0; i < 100000; ++i) {
+        h.Record(static_cast<sim::Duration>(rng.Exponential(1e6)));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.Percentile(0.99));
+    }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+static void
+BM_RngLogNormal(benchmark::State& state)
+{
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.LogNormalWithMean(4e6, 0.35));
+    }
+}
+BENCHMARK(BM_RngLogNormal);
+
+static void
+BM_ResolveLlc(benchmark::State& state)
+{
+    hw::MachineConfig cfg;
+    std::vector<hw::LlcRequest> reqs(4);
+    reqs[0] = {18.0, 75.0, 0};
+    reqs[1] = {24.0, 500.0, 0};
+    reqs[2] = {22.5, 300.0, 4};
+    reqs[3] = {4.0, 40.0, 0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hw::ResolveLlc(cfg, reqs));
+    }
+}
+BENCHMARK(BM_ResolveLlc);
+
+static void
+BM_ResolvePowerThrottled(benchmark::State& state)
+{
+    hw::MachineConfig cfg;
+    std::vector<hw::CorePowerRequest> cores(cfg.cores_per_socket);
+    for (auto& c : cores) {
+        c.busy = 1.0;
+        c.intensity = 2.1;  // power virus: forces the bisection path
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hw::ResolvePower(cfg, cores));
+    }
+}
+BENCHMARK(BM_ResolvePowerThrottled);
+
+static void
+BM_ResolveDram(benchmark::State& state)
+{
+    hw::MachineConfig cfg;
+    std::vector<double> demand = {18.0, 22.0, 7.5, 3.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hw::ResolveDram(cfg, demand));
+    }
+}
+BENCHMARK(BM_ResolveDram);
+
+static void
+BM_MachineEpochResolve(benchmark::State& state)
+{
+    sim::EventQueue q;
+    hw::MachineConfig cfg;
+    hw::Machine machine(cfg, q);
+    for (auto _ : state) {
+        machine.ResolveNow();
+    }
+}
+BENCHMARK(BM_MachineEpochResolve);
+
+static void
+BM_BwModelEvaluate(benchmark::State& state)
+{
+    hw::MachineConfig cfg;
+    const ctl::LcBwModel model =
+        ctl::LcBwModel::Profile(workloads::Websearch(), cfg);
+    double load = 0.0;
+    for (auto _ : state) {
+        load += 0.001;
+        if (load > 1.0) load = 0.0;
+        benchmark::DoNotOptimize(model.Evaluate(load, 20, 16));
+    }
+}
+BENCHMARK(BM_BwModelEvaluate);
+
+BENCHMARK_MAIN();

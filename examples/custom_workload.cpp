@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Defining your own latency-critical workload and running it under
+ * Heracles.
+ *
+ * The example models an RPC-based "adserver" leaf: 2 ms mean service
+ * time, a 8 ms p99 SLO, a modest cache footprint and a heavy DRAM
+ * appetite. The LcParams struct is the complete description the library
+ * needs; everything else (controller, bandwidth model, colocation) is
+ * assembled exactly as for the paper's workloads.
+ */
+#include <cstdio>
+
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+
+using namespace heracles;
+
+int
+main()
+{
+    // 1. Describe the latency-critical service.
+    workloads::LcParams adserver;
+    adserver.name = "adserver";
+    adserver.slo_percentile = 0.99;
+    adserver.slo_latency = sim::Millis(8);
+    adserver.peak_qps = 20000.0;
+    adserver.mean_service = sim::Millis(2);
+    adserver.service_sigma = 0.40;
+    adserver.mem_frac = 0.35;          // heavy on memory
+    adserver.cache.instr_mb = 3.0;
+    adserver.cache.data_base_mb = 6.0;
+    adserver.cache.data_slope_mb = 12.0;
+    adserver.peak_dram_frac = 0.50;    // 50% of machine bandwidth at peak
+    adserver.resp_bytes = 2048.0;
+    adserver.power_intensity = 0.9;
+
+    // 2. Colocate it with the DRAM-hungry streetview batch job under
+    //    Heracles and sweep the load.
+    exp::ExperimentConfig cfg;
+    cfg.lc = adserver;
+    cfg.be = workloads::Streetview();
+    cfg.policy = exp::PolicyKind::kHeracles;
+    cfg.warmup = sim::Seconds(150);
+    cfg.measure = sim::Seconds(120);
+    exp::Experiment experiment(cfg);
+
+    exp::PrintBanner("custom adserver + streetview under Heracles");
+    exp::Table table({"load", "p99 (% of SLO)", "SLO ok", "EMU",
+                      "BE DRAM est (GB/s)", "BE cores"});
+    for (double load : {0.25, 0.5, 0.75}) {
+        const auto r = experiment.RunAt(load);
+        table.AddRow({exp::FormatPct(load),
+                      exp::FormatTailFrac(r.tail_frac_slo),
+                      r.slo_violated ? "VIOLATED" : "yes",
+                      exp::FormatPct(r.emu),
+                      exp::FormatDouble(r.telemetry.dram_gbps, 1),
+                      std::to_string(r.be_cores)});
+    }
+    table.Print();
+
+    std::printf(
+        "\nThe controller needed no workload-specific tuning: the offline\n"
+        "bandwidth model is profiled automatically from the LcParams.\n");
+    return 0;
+}

@@ -1,0 +1,297 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "heracles/controller.h"
+#include "hw/machine.h"
+#include "platform/sim_platform.h"
+#include "workloads/antagonists.h"
+#include "workloads/be_task.h"
+#include "workloads/lc_app.h"
+
+namespace heracles::cluster {
+namespace {
+
+/** One assembled cluster: machines, leaves, per-leaf Heracles, a root. */
+class ClusterSim
+{
+  public:
+    ClusterSim(const ClusterConfig& cfg, const sim::LoadTrace& trace,
+               bool colocate, sim::Duration target)
+        : cfg_(cfg), trace_(trace), target_(target), rng_(cfg.seed)
+    {
+        const double brain_alone =
+            workloads::MeasureAloneRate(cfg.machine, workloads::Brain());
+        const double sv_alone = workloads::MeasureAloneRate(
+            cfg.machine, workloads::Streetview());
+
+        for (int i = 0; i < cfg_.leaves; ++i) {
+            hw::MachineConfig mcfg = cfg_.machine;
+            mcfg.seed = cfg_.seed * 131ull + i;
+            auto machine = std::make_unique<hw::Machine>(mcfg, queue_);
+            auto lc = std::make_unique<workloads::LcApp>(
+                *machine, cfg_.lc, mcfg.seed ^ 0x11);
+
+            std::unique_ptr<workloads::BeTask> be;
+            double alone = 1.0;
+            if (colocate) {
+                // brain on half the leaves, streetview on the other half.
+                const bool even = i % 2 == 0;
+                be = std::make_unique<workloads::BeTask>(
+                    *machine,
+                    even ? workloads::Brain() : workloads::Streetview());
+                alone = even ? brain_alone : sv_alone;
+            }
+
+            auto plat = std::make_unique<platform::SimPlatform>(
+                *machine, *lc, be.get());
+            plat->ApplyInitialPlacement();
+
+            std::unique_ptr<ctl::HeraclesController> controller;
+            if (colocate) {
+                // All leaves share one offline bandwidth model, even
+                // though each serves a different shard (Section 5.2
+                // shows Heracles tolerates this).
+                controller = std::make_unique<ctl::HeraclesController>(
+                    *plat, cfg_.heracles,
+                    ctl::LcBwModel::Profile(cfg_.lc, mcfg));
+                controller->Start();
+            }
+
+            const int idx = static_cast<int>(leaves_.size());
+            lc->SetLoad(0.0);  // rate bookkeeping only; driven externally
+            lc->StartExternal();
+            lc->SetCompletionCallback(
+                [this, idx](uint64_t tag, sim::Duration latency) {
+                    OnLeafReply(idx, tag, latency);
+                });
+
+            Leaf leaf;
+            leaf.machine = std::move(machine);
+            leaf.lc = std::move(lc);
+            leaf.be = std::move(be);
+            leaf.be_alone = alone;
+            leaf.plat = std::move(plat);
+            leaf.controller = std::move(controller);
+            leaves_.push_back(std::move(leaf));
+        }
+    }
+
+    ~ClusterSim()
+    {
+        for (auto& leaf : leaves_) {
+            if (leaf.controller) leaf.controller->Stop();
+        }
+    }
+
+    /** Runs the trace; per-window results land in the series. */
+    void
+    Run(sim::Duration duration, sim::Duration warmup)
+    {
+        warmup_end_ = warmup;
+        ScheduleNextQuery();
+        queue_.SchedulePeriodic(cfg_.root_window, cfg_.root_window,
+                                [this] { CloseWindow(); });
+        queue_.RunFor(duration);
+    }
+
+    /**
+     * Centralized controller step: convert root-level slack into a
+     * uniform per-leaf tail target between the static base and
+     * base * central_max_boost.
+     */
+    void
+    AdjustLeafTargets(double window_mean)
+    {
+        if (!cfg_.central_controller || target_ <= 0) return;
+        const double root_slack =
+            (static_cast<double>(target_) - window_mean) /
+            static_cast<double>(target_);
+        const double base = static_cast<double>(cfg_.lc.slo_latency);
+        const double boost = std::clamp(
+            1.0 + cfg_.central_gain * root_slack, 1.0,
+            cfg_.central_max_boost);
+        for (auto& leaf : leaves_) {
+            leaf.lc->SetSloLatency(
+                static_cast<sim::Duration>(base * boost));
+        }
+    }
+
+    const sim::TimeSeries& latency_series() const { return latency_; }
+
+    /** Mean of the leaves' overall tail latencies (for target setting). */
+    sim::Duration
+    MeanLeafTail() const
+    {
+        double sum = 0.0;
+        for (const auto& leaf : leaves_) {
+            sum += static_cast<double>(leaf.lc->WorstReportTail());
+        }
+        return static_cast<sim::Duration>(sum / leaves_.size());
+    }
+
+    const sim::TimeSeries& emu_series() const { return emu_; }
+    const sim::TimeSeries& load_series() const { return load_; }
+    sim::Duration worst_window() const { return worst_window_; }
+
+  private:
+    struct Leaf {
+        std::unique_ptr<hw::Machine> machine;
+        std::unique_ptr<workloads::LcApp> lc;
+        std::unique_ptr<workloads::BeTask> be;
+        double be_alone = 1.0;
+        std::unique_ptr<platform::SimPlatform> plat;
+        std::unique_ptr<ctl::HeraclesController> controller;
+    };
+
+    struct Query {
+        int remaining = 0;
+        sim::Duration max_latency = 0;
+    };
+
+    void
+    ScheduleNextQuery()
+    {
+        const double load = trace_.LoadAt(queue_.Now());
+        const double rate = std::max(load * cfg_.lc.peak_qps, 1.0);
+        const sim::Duration gap = std::max<sim::Duration>(
+            1, sim::Seconds(rng_.Exponential(1.0 / rate)));
+        queue_.ScheduleAfter(gap, [this] {
+            OnQueryArrival();
+            ScheduleNextQuery();
+        });
+    }
+
+    void
+    OnQueryArrival()
+    {
+        const uint64_t tag = next_tag_++;
+        pending_[tag] = Query{static_cast<int>(leaves_.size()), 0};
+        for (auto& leaf : leaves_) leaf.lc->InjectRequest(tag);
+    }
+
+    void
+    OnLeafReply(int /*leaf*/, uint64_t tag, sim::Duration latency)
+    {
+        auto it = pending_.find(tag);
+        if (it == pending_.end()) return;
+        Query& q = it->second;
+        q.max_latency = std::max(q.max_latency, latency);
+        if (--q.remaining == 0) {
+            const sim::Duration root_latency =
+                q.max_latency + 2 * cfg_.hop;
+            window_sum_ += static_cast<double>(root_latency);
+            ++window_count_;
+            pending_.erase(it);
+        }
+    }
+
+    void
+    CloseWindow()
+    {
+        const sim::SimTime now = queue_.Now();
+        if (window_count_ > 0 && now > warmup_end_) {
+            const double mean = window_sum_ / window_count_;
+            AdjustLeafTargets(mean);
+            latency_.Add(now, target_ > 0
+                                  ? mean / static_cast<double>(target_)
+                                  : mean);
+            worst_window_ = std::max(
+                worst_window_, static_cast<sim::Duration>(mean));
+
+            double emu = 0.0;
+            for (auto& leaf : leaves_) {
+                double e = leaf.lc->ServedFraction();
+                if (leaf.be) {
+                    e += leaf.be->CurrentRate() / leaf.be_alone;
+                }
+                emu += e;
+            }
+            emu_.Add(now, emu / leaves_.size());
+            load_.Add(now, trace_.LoadAt(now));
+        }
+        window_sum_ = 0.0;
+        window_count_ = 0;
+    }
+
+    ClusterConfig cfg_;
+    const sim::LoadTrace& trace_;
+    sim::Duration target_;
+    sim::Rng rng_;
+    sim::EventQueue queue_;
+    std::vector<Leaf> leaves_;
+
+    uint64_t next_tag_ = 1;
+    std::unordered_map<uint64_t, Query> pending_;
+    double window_sum_ = 0.0;
+    uint64_t window_count_ = 0;
+    sim::SimTime warmup_end_ = 0;
+
+    sim::TimeSeries latency_;
+    sim::TimeSeries emu_;
+    sim::TimeSeries load_;
+    sim::Duration worst_window_ = 0;
+};
+
+}  // namespace
+
+ClusterExperiment::ClusterExperiment(ClusterConfig cfg) : cfg_(std::move(cfg))
+{
+}
+
+sim::Duration
+ClusterExperiment::MeasureTarget()
+{
+    if (target_ > 0) return target_;
+    sim::ConstantTrace trace(cfg_.target_load);
+    ClusterSim sim(cfg_, trace, /*colocate=*/false, /*target=*/0);
+    sim.Run(sim::Minutes(3), /*warmup=*/sim::Seconds(60));
+    // The worst mu/30s window at the defining load is the SLO target,
+    // with a small confidence margin: the defining run observes only a
+    // few windows, so its sample maximum understates the true worst
+    // window of a long run at the same load.
+    const sim::TimeSeries& s = sim.latency_series();
+    target_ = s.size() > 0 ? static_cast<sim::Duration>(1.05 * s.MaxValue())
+                           : cfg_.lc.slo_latency;
+    // Uniform per-leaf tail target from the same run: Heracles on each
+    // leaf defends the leaf tail observed at the defining load, which is
+    // sufficient for the root SLO (Section 5.3).
+    leaf_target_ = sim.MeanLeafTail();
+    if (leaf_target_ <= 0) leaf_target_ = cfg_.lc.slo_latency;
+    return target_;
+}
+
+sim::Duration
+ClusterExperiment::LeafTarget()
+{
+    MeasureTarget();
+    return leaf_target_;
+}
+
+ClusterResult
+ClusterExperiment::Run()
+{
+    MeasureTarget();
+    sim::DiurnalTrace trace(cfg_.duration, cfg_.load_low, cfg_.load_high,
+                            0.02, cfg_.seed);
+    ClusterConfig run_cfg = cfg_;
+    // Every leaf's Heracles defends the derived uniform tail target.
+    run_cfg.lc.slo_latency = leaf_target_;
+    ClusterSim sim(run_cfg, trace, cfg_.colocate, target_);
+    sim.Run(cfg_.duration, /*warmup=*/sim::Seconds(60));
+
+    ClusterResult r;
+    r.leaf_target = leaf_target_;
+    r.latency_frac = sim.latency_series();
+    r.emu = sim.emu_series();
+    r.load = sim.load_series();
+    r.worst_latency_frac = r.latency_frac.MaxValue();
+    r.slo_violated = r.worst_latency_frac > 1.0;
+    r.avg_emu = r.emu.MeanValue();
+    r.min_emu = r.emu.MinValue();
+    r.target = target_;
+    return r;
+}
+
+}  // namespace heracles::cluster

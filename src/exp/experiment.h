@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Single-server colocation experiments.
+ *
+ * An Experiment builds a fresh simulated server, the LC workload, an
+ * optional BE job and an isolation policy; runs warmup + measurement at a
+ * given load (or over a trace); and reports tail latency, Effective
+ * Machine Utilization and shared-resource telemetry — the measurements
+ * behind Figures 4-7 of the paper.
+ */
+#ifndef HERACLES_EXP_EXPERIMENT_H
+#define HERACLES_EXP_EXPERIMENT_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "heracles/config.h"
+#include "heracles/controller.h"
+#include "hw/machine.h"
+#include "platform/sim_platform.h"
+#include "workloads/antagonists.h"
+#include "workloads/lc_configs.h"
+
+namespace heracles::exp {
+
+/** How colocation is (or is not) managed. */
+enum class PolicyKind {
+    kNoColocation,     ///< LC alone on the machine (baseline).
+    kHeracles,         ///< The paper's controller over all 4 mechanisms.
+    kOsOnly,           ///< Linux-only: shared cpusets + CFS shares.
+    kStaticPartition,  ///< Fixed half/half cores + LLC, no controller.
+};
+
+/** Human-readable policy name. */
+std::string PolicyName(PolicyKind kind);
+
+/** Configuration of one colocation experiment. */
+struct ExperimentConfig {
+    hw::MachineConfig machine;
+    workloads::LcParams lc = workloads::Websearch();
+    std::optional<workloads::BeProfile> be;  ///< No BE when unset.
+    PolicyKind policy = PolicyKind::kHeracles;
+    ctl::HeraclesConfig heracles;
+
+    sim::Duration warmup = sim::Seconds(90);
+    sim::Duration measure = sim::Seconds(180);
+    uint64_t seed = 1;
+};
+
+/** Results of one (load point) measurement. */
+struct LoadPointResult {
+    double load = 0.0;
+
+    sim::Duration worst_tail = 0;  ///< Worst report-window tail.
+    double tail_frac_slo = 0.0;    ///< worst_tail / SLO.
+    bool slo_violated = false;
+
+    double lc_throughput = 0.0;  ///< Served fraction of LC peak.
+    double be_throughput = 0.0;  ///< BE rate normalized to running alone.
+    double emu = 0.0;            ///< Effective Machine Utilization.
+
+    hw::MachineTelemetry telemetry;  ///< Time-averaged over measurement.
+
+    // Final controller state (Heracles policy only).
+    int be_cores = 0;
+    int be_ways = 0;
+    double be_freq_cap_ghz = 0.0;
+    double slack = 0.0;
+    /** Emergency BE disables (slack violations + load safeguards) over
+     *  the whole run including warmup — evidence of instability even
+     *  when the measured window looks clean after a cooldown. */
+    uint64_t be_disables = 0;
+};
+
+/**
+ * Runs colocation measurements. Every RunAt builds a completely fresh
+ * simulation so load points are independent and reproducible.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig cfg);
+
+    /** Runs warmup + measurement at a fixed load fraction. */
+    LoadPointResult RunAt(double load) const;
+
+    /** Runs the whole sweep (one fresh simulation per point). */
+    std::vector<LoadPointResult> Sweep(
+        const std::vector<double>& loads) const;
+
+    /** The BE job's standalone throughput (units/s), for normalization. */
+    double BeAloneRate() const { return be_alone_rate_; }
+
+    const ExperimentConfig& config() const { return cfg_; }
+
+    /** Default load sweep used across the paper's figures: 5%..95%. */
+    static std::vector<double> PaperLoads(double step = 0.10);
+
+  private:
+    ExperimentConfig cfg_;
+    double be_alone_rate_ = 1.0;
+};
+
+}  // namespace heracles::exp
+
+#endif  // HERACLES_EXP_EXPERIMENT_H

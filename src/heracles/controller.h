@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The top-level Heracles controller (Algorithm 1).
+ *
+ * Polls the LC workload's tail latency and load every 15 seconds and
+ * computes the latency slack (target - latency) / target. Safeguards:
+ * negative slack disables BE execution and enters a cooldown during which
+ * all resources belong to the LC job; load above 85% of peak disables BE
+ * (re-enabled below 80%, hysteresis). Otherwise the slack steers the
+ * subcontrollers: below 10% growth is disallowed; below 5% cores are
+ * taken from BE immediately; above 10% the subcontrollers may grow BE
+ * allocations, each within its own saturation constraint.
+ */
+#ifndef HERACLES_HERACLES_CONTROLLER_H
+#define HERACLES_HERACLES_CONTROLLER_H
+
+#include <memory>
+
+#include "heracles/bw_model.h"
+#include "heracles/config.h"
+#include "heracles/core_mem.h"
+#include "heracles/net_ctl.h"
+#include "heracles/power_ctl.h"
+#include "platform/iface.h"
+
+namespace heracles::ctl {
+
+/** Counters exposed for experiments and debugging. */
+struct ControllerStats {
+    uint64_t polls = 0;
+    uint64_t be_disables_slack = 0;  ///< Negative-slack emergencies.
+    uint64_t be_disables_load = 0;   ///< High-load safeguards.
+    uint64_t be_enables = 0;
+    uint64_t core_shrinks = 0;       ///< slack < 5% core removals.
+};
+
+/**
+ * The per-server Heracles instance: one LC workload, one (elastic) BE
+ * job, four isolation mechanisms.
+ */
+class HeraclesController
+{
+  public:
+    /**
+     * @param platform monitors and actuators for this server.
+     * @param cfg controller tunables (paper defaults).
+     * @param model offline LC DRAM bandwidth model.
+     */
+    HeraclesController(platform::Platform& platform, HeraclesConfig cfg,
+                       LcBwModel model);
+
+    ~HeraclesController();
+    HeraclesController(const HeraclesController&) = delete;
+    HeraclesController& operator=(const HeraclesController&) = delete;
+
+    /** Schedules the control loops; call once. */
+    void Start();
+
+    /** Cancels all control loops. */
+    void Stop();
+
+    // --- Inspection ---------------------------------------------------------
+    bool BeEnabled() const { return be_enabled_; }
+    bool InCooldown() const;
+    bool CanGrowBe() const { return can_grow_be_; }
+    double LastSlack() const { return last_slack_; }
+    const ControllerStats& stats() const { return stats_; }
+    const CoreMemController& core_mem() const { return *core_mem_; }
+    const PowerController& power() const { return *power_; }
+    const NetworkController& network() const { return *network_; }
+    const HeraclesConfig& config() const { return cfg_; }
+
+  private:
+    void TopTick();
+    void DisableBE();
+    void EnableBE();
+
+    platform::Platform& platform_;
+    HeraclesConfig cfg_;
+    std::unique_ptr<CoreMemController> core_mem_;
+    std::unique_ptr<PowerController> power_;
+    std::unique_ptr<NetworkController> network_;
+
+    bool started_ = false;
+    bool be_enabled_ = false;
+    bool can_grow_be_ = false;
+    double last_slack_ = 1.0;
+    sim::SimTime cooldown_until_ = 0;
+    ControllerStats stats_;
+
+    sim::EventQueue::EventId top_event_ = 0;
+    sim::EventQueue::EventId core_mem_event_ = 0;
+    sim::EventQueue::EventId power_event_ = 0;
+    sim::EventQueue::EventId net_event_ = 0;
+};
+
+}  // namespace heracles::ctl
+
+#endif  // HERACLES_HERACLES_CONTROLLER_H

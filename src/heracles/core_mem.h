@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Core & memory subcontroller (Algorithm 2).
+ *
+ * One subcontroller manages both cores and cache because of the strong
+ * coupling between core count, LLC needs and memory bandwidth needs. Its
+ * first duty is to keep total DRAM bandwidth below DRAM_LIMIT (taking
+ * cores away from BE when the channels approach saturation); within that
+ * constraint it runs a one-dimension-at-a-time gradient descent,
+ * alternating between growing the BE task's LLC partition (GROW_LLC) and
+ * its core count (GROW_CORES), exactly as the paper describes. LC
+ * performance is a convex function of cores and cache (Figure 3), so the
+ * descent finds the global optimum.
+ */
+#ifndef HERACLES_HERACLES_CORE_MEM_H
+#define HERACLES_HERACLES_CORE_MEM_H
+
+#include "heracles/bw_model.h"
+#include "heracles/config.h"
+#include "platform/iface.h"
+
+namespace heracles::ctl {
+
+/** The cores & cache gradient-descent subcontroller. */
+class CoreMemController
+{
+  public:
+    enum class State { kGrowLlc, kGrowCores };
+
+    /** @param model offline LC bandwidth model; may be empty (ablation). */
+    CoreMemController(platform::Platform& platform,
+                      const HeraclesConfig& cfg, LcBwModel model);
+
+    /**
+     * One 2-second control step.
+     * @param can_grow_be top-level permission to grow BE allocations.
+     * @param slack current latency slack from the top-level controller.
+     */
+    void Tick(bool can_grow_be, double slack);
+
+    /** Resets to the initial allocation (1 core, ~10% LLC, GROW_LLC). */
+    void OnBeEnabled();
+
+    /** Clears state when the top-level controller disables BE. */
+    void OnBeDisabled();
+
+    State state() const { return state_; }
+
+    /** The controller's current estimate of BE DRAM bandwidth (GB/s). */
+    double BeBwGbps() const;
+
+  private:
+    double DramLimitGbps() const;
+    double LcModelGbps() const;
+    double BeBwPerCoreGbps() const;
+
+    platform::Platform& platform_;
+    HeraclesConfig cfg_;
+    LcBwModel model_;
+
+    State state_ = State::kGrowLlc;
+    double last_total_bw_ = 0.0;
+    double bw_derivative_ = 0.0;
+};
+
+}  // namespace heracles::ctl
+
+#endif  // HERACLES_HERACLES_CORE_MEM_H

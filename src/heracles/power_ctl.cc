@@ -1,0 +1,58 @@
+#include "heracles/power_ctl.h"
+
+#include <algorithm>
+
+namespace heracles::ctl {
+
+PowerController::PowerController(platform::Platform& platform,
+                                 const HeraclesConfig& cfg)
+    : platform_(platform),
+      cfg_(cfg),
+      guaranteed_ghz_(platform.GuaranteedLcFreqGhz())
+{
+}
+
+void
+PowerController::Tick()
+{
+    if (platform_.BeCores() <= 0) {
+        // No BE cores to throttle; make sure the cap is released.
+        if (platform_.BeFreqCapGhz() != 0.0) {
+            platform_.SetBeFreqCapGhz(0.0);
+        }
+        return;
+    }
+
+    // Worst socket drives the decision (the loop runs per socket on real
+    // hardware; both conditions below must hold).
+    double power_frac = 0.0;
+    for (int s = 0; s < platform_.Sockets(); ++s) {
+        power_frac =
+            std::max(power_frac, platform_.SocketPowerW(s) / platform_.TdpW());
+    }
+    const double lc_freq = platform_.LcFreqGhz();
+    const double step =
+        cfg_.dvfs_steps_per_tick * platform_.FreqStepGhz();
+
+    double cap = platform_.BeFreqCapGhz();
+    if (cap == 0.0) cap = platform_.MaxGhz();  // uncapped
+
+    if (power_frac > cfg_.tdp_threshold &&
+        lc_freq < guaranteed_ghz_ - 1e-3) {
+        // LowerFrequency(be_cores): shift power budget to LC cores.
+        const double next = std::max(platform_.MinGhz(), cap - step);
+        platform_.SetBeFreqCapGhz(next);
+    } else if (power_frac <= cfg_.tdp_raise_threshold &&
+               lc_freq >= guaranteed_ghz_ - 1e-3) {
+        // IncreaseFrequency(be_cores): comfortable headroom available.
+        const double next = cap + step;
+        if (next >= platform_.MaxGhz() - 1e-9) {
+            platform_.SetBeFreqCapGhz(0.0);  // fully uncapped
+        } else {
+            platform_.SetBeFreqCapGhz(next);
+        }
+    }
+    // Between the thresholds: hold the current cap (hysteresis).
+}
+
+}  // namespace heracles::ctl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Server hardware configuration.
+ *
+ * Defaults model the paper's evaluation platform: a dual-socket Intel Xeon
+ * (Haswell-EP class) with a high core count, 2.3 GHz nominal frequency,
+ * 2.5 MB of LLC per core, CAT way-partitioning, RAPL power monitoring,
+ * per-core DVFS, and a 10 GbE NIC.
+ */
+#ifndef HERACLES_HW_CONFIG_H
+#define HERACLES_HW_CONFIG_H
+
+#include "sim/time.h"
+
+namespace heracles::hw {
+
+/** Static description of one server. All rates are per second. */
+struct MachineConfig {
+    // --- Topology -------------------------------------------------------
+    int sockets = 2;
+    int cores_per_socket = 18;
+    int threads_per_core = 2;  ///< HyperThreads per physical core.
+
+    // --- Frequency / power ----------------------------------------------
+    double nominal_ghz = 2.3;   ///< Guaranteed base frequency.
+    double min_ghz = 1.2;       ///< DVFS floor.
+    double turbo_1c_ghz = 3.6;  ///< Single-core max turbo.
+    /** All-core turbo = turbo_1c - slope * (active_cores - 1). */
+    double turbo_slope_ghz = 0.05;
+    double dvfs_step_ghz = 0.1;  ///< Per-core DVFS granularity (100 MHz).
+
+    double tdp_w = 145.0;        ///< Thermal design power per socket.
+    double uncore_w = 18.0;      ///< Static uncore power per socket.
+    double core_idle_w = 1.0;    ///< Per-core leakage/idle power.
+    /** Dynamic core power = dyn_coeff_w * intensity * f_ghz^dyn_exp. */
+    double dyn_coeff_w = 0.458;
+    double dyn_exp = 2.6;
+
+    // --- Last-level cache -------------------------------------------------
+    double llc_mb_per_socket = 45.0;  ///< 18 cores x 2.5 MB.
+    int llc_ways = 20;                ///< CAT way-partitioning granularity.
+
+    // --- Memory -----------------------------------------------------------
+    double dram_gbps_per_socket = 50.0;  ///< Peak streaming bandwidth.
+    /** Utilization knee after which DRAM access latency rises sharply. */
+    double dram_knee = 0.75;
+
+    // --- Network ------------------------------------------------------------
+    double nic_gbps = 10.0;  ///< Egress link rate.
+
+    // --- Simulation ---------------------------------------------------------
+    /** Contention is re-resolved at this period of simulated time. */
+    sim::Duration epoch = sim::Millis(25);
+    /** Relative noise applied to counter readings (RAPL, DRAM BW). */
+    double counter_noise = 0.01;
+    uint64_t seed = 1;
+
+    // --- Derived helpers ----------------------------------------------------
+    int TotalCores() const { return sockets * cores_per_socket; }
+    int LogicalCpus() const {
+        return TotalCores() * threads_per_core;
+    }
+    int CpusPerSocket() const {
+        return cores_per_socket * threads_per_core;
+    }
+    double MbPerWay() const {
+        return llc_mb_per_socket / llc_ways;
+    }
+    double TotalDramGbps() const {
+        return dram_gbps_per_socket * sockets;
+    }
+    double TotalTdpW() const { return tdp_w * sockets; }
+};
+
+}  // namespace heracles::hw
+
+#endif  // HERACLES_HW_CONFIG_H

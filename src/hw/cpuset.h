@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Logical-CPU sets and the machine topology mapping.
+ *
+ * Logical CPU ids are laid out socket-major, then physical core, then
+ * hardware thread: cpu = socket * cpus_per_socket + core * threads + thread.
+ * This mirrors how the library's cpuset "cgroup" actuator pins tasks.
+ */
+#ifndef HERACLES_HW_CPUSET_H
+#define HERACLES_HW_CPUSET_H
+
+#include <bitset>
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+#include "sim/log.h"
+
+namespace heracles::hw {
+
+/** Maximum logical CPUs supported by CpuSet. */
+constexpr int kMaxCpus = 256;
+
+/** A set of logical CPUs (like a cgroup cpuset mask). */
+class CpuSet
+{
+  public:
+    CpuSet() = default;
+
+    /** Builds a set from explicit cpu ids. */
+    static CpuSet Of(const std::vector<int>& cpus);
+
+    /** Builds the contiguous range [first, first + count). */
+    static CpuSet Range(int first, int count);
+
+    void
+    Add(int cpu)
+    {
+        HERACLES_CHECK(cpu >= 0 && cpu < kMaxCpus);
+        bits_.set(static_cast<size_t>(cpu));
+    }
+    void
+    Remove(int cpu)
+    {
+        HERACLES_CHECK(cpu >= 0 && cpu < kMaxCpus);
+        bits_.reset(static_cast<size_t>(cpu));
+    }
+    bool
+    Contains(int cpu) const
+    {
+        return cpu >= 0 && cpu < kMaxCpus &&
+               bits_.test(static_cast<size_t>(cpu));
+    }
+
+    int Count() const { return static_cast<int>(bits_.count()); }
+    bool Empty() const { return bits_.none(); }
+
+    /** All cpu ids in the set, ascending. */
+    std::vector<int> Cpus() const;
+
+    CpuSet
+    Union(const CpuSet& o) const
+    {
+        CpuSet r;
+        r.bits_ = bits_ | o.bits_;
+        return r;
+    }
+    CpuSet
+    Intersect(const CpuSet& o) const
+    {
+        CpuSet r;
+        r.bits_ = bits_ & o.bits_;
+        return r;
+    }
+    CpuSet
+    Minus(const CpuSet& o) const
+    {
+        CpuSet r;
+        r.bits_ = bits_ & ~o.bits_;
+        return r;
+    }
+    bool Intersects(const CpuSet& o) const { return (bits_ & o.bits_).any(); }
+    bool operator==(const CpuSet& o) const { return bits_ == o.bits_; }
+
+    /** Compact human-readable form, e.g. "0-3,8,10-11". */
+    std::string ToString() const;
+
+  private:
+    std::bitset<kMaxCpus> bits_;
+};
+
+/** Maps logical cpu ids to (socket, physical core, thread) and back. */
+class Topology
+{
+  public:
+    explicit Topology(const MachineConfig& cfg) : cfg_(cfg) {}
+
+    int SocketOf(int cpu) const { return cpu / cfg_.CpusPerSocket(); }
+
+    /** Physical core id (machine-global) of a logical cpu. */
+    int
+    CoreOf(int cpu) const
+    {
+        const int local = cpu % cfg_.CpusPerSocket();
+        return SocketOf(cpu) * cfg_.cores_per_socket +
+               local / cfg_.threads_per_core;
+    }
+
+    int ThreadOf(int cpu) const {
+        return (cpu % cfg_.CpusPerSocket()) % cfg_.threads_per_core;
+    }
+
+    /** Logical cpu for (socket-global core id, hardware thread). */
+    int
+    CpuOf(int core, int thread) const
+    {
+        const int socket = core / cfg_.cores_per_socket;
+        const int local_core = core % cfg_.cores_per_socket;
+        return socket * cfg_.CpusPerSocket() +
+               local_core * cfg_.threads_per_core + thread;
+    }
+
+    /** The other hardware thread on the same physical core (or -1). */
+    int
+    SiblingOf(int cpu) const
+    {
+        if (cfg_.threads_per_core < 2) return -1;
+        const int t = ThreadOf(cpu);
+        return CpuOf(CoreOf(cpu), t == 0 ? 1 : 0);
+    }
+
+    /** Both hyperthreads of @p n physical cores starting at @p first_core. */
+    CpuSet PhysicalCores(int first_core, int n) const;
+
+    /**
+     * Both hyperthreads of @p n physical cores spread evenly across
+     * sockets (socket 0 core 0, socket 1 core 0, socket 0 core 1, ...),
+     * the way a NUMA-interleaved latency-critical service is pinned.
+     */
+    CpuSet SpreadCores(int n) const;
+
+    /** Every logical cpu of the machine. */
+    CpuSet AllCpus() const;
+
+    /** Thread @p thread of each of @p n cores starting at @p first_core. */
+    CpuSet ThreadOfCores(int first_core, int n, int thread) const;
+
+    /** Number of distinct physical cores covered by @p set. */
+    int PhysicalCoreCount(const CpuSet& set) const;
+
+    /** Cpus of @p set that live on @p socket. */
+    CpuSet OnSocket(const CpuSet& set, int socket) const;
+
+    const MachineConfig& config() const { return cfg_; }
+
+  private:
+    MachineConfig cfg_;
+};
+
+}  // namespace heracles::hw
+
+#endif  // HERACLES_HW_CPUSET_H

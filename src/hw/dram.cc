@@ -1,0 +1,48 @@
+#include "hw/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heracles::hw {
+
+double
+DramStretch(const MachineConfig& cfg, double rho)
+{
+    if (rho < 0.0) rho = 0.0;
+    // Mild queueing below the knee.
+    double m = 1.0 + 0.15 * rho;
+    // Cubic knee between cfg.dram_knee and full utilization.
+    if (rho > cfg.dram_knee) {
+        const double x =
+            (std::min(rho, 1.0) - cfg.dram_knee) / (1.0 - cfg.dram_knee);
+        m += 1.9 * x * x * x;
+    }
+    // Overload: every extra unit of demand queues behind the channels.
+    if (rho > 1.0) m += 6.0 * (rho - 1.0);
+    return m;
+}
+
+DramOutcome
+ResolveDram(const MachineConfig& cfg, const std::vector<double>& demand_gbps)
+{
+    DramOutcome out;
+    out.granted_gbps.resize(demand_gbps.size(), 0.0);
+    for (double d : demand_gbps) out.total_demand_gbps += d;
+
+    const double peak = cfg.dram_gbps_per_socket;
+    out.rho = peak > 0.0 ? out.total_demand_gbps / peak : 0.0;
+    out.stretch = DramStretch(cfg, out.rho);
+
+    // Grants: everything below capacity, demand-proportional above it.
+    const double scale =
+        out.total_demand_gbps <= peak || out.total_demand_gbps <= 0.0
+            ? 1.0
+            : peak / out.total_demand_gbps;
+    for (size_t i = 0; i < demand_gbps.size(); ++i) {
+        out.granted_gbps[i] = demand_gbps[i] * scale;
+        out.total_granted_gbps += out.granted_gbps[i];
+    }
+    return out;
+}
+
+}  // namespace heracles::hw

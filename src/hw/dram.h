@@ -1,0 +1,44 @@
+/**
+ * @file
+ * DRAM bandwidth contention model.
+ *
+ * The model captures the behaviour the paper's controller depends on:
+ * memory access time is flat while total bandwidth demand is comfortably
+ * below the socket's streaming peak, rises around a knee, and degrades
+ * extremely rapidly once the channels saturate (the "inflection point" of
+ * Section 4.2). When demand exceeds capacity, grants are proportional to
+ * demand — commodity memory controllers provide no isolation, which is
+ * exactly the gap Heracles works around with its offline bandwidth model.
+ */
+#ifndef HERACLES_HW_DRAM_H
+#define HERACLES_HW_DRAM_H
+
+#include <vector>
+
+#include "hw/config.h"
+
+namespace heracles::hw {
+
+/** Result of resolving one socket's DRAM contention. */
+struct DramOutcome {
+    std::vector<double> granted_gbps;  ///< Parallel to the demand vector.
+    double total_demand_gbps = 0.0;
+    double total_granted_gbps = 0.0;
+    double rho = 0.0;      ///< demand / peak (may exceed 1).
+    double stretch = 1.0;  ///< Memory-access-time multiplier (>= 1).
+};
+
+/**
+ * Memory-access-time multiplier for bandwidth utilization @p rho
+ * (demand / peak, unclamped). Monotonically non-decreasing; ~1 below the
+ * knee, ~3 at rho = 1, and growing linearly in overload.
+ */
+double DramStretch(const MachineConfig& cfg, double rho);
+
+/** Resolves one socket: fair (demand-proportional) grants + stretch. */
+DramOutcome ResolveDram(const MachineConfig& cfg,
+                        const std::vector<double>& demand_gbps);
+
+}  // namespace heracles::hw
+
+#endif  // HERACLES_HW_DRAM_H

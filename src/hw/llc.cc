@@ -1,0 +1,84 @@
+#include "hw/llc.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace heracles::hw {
+
+std::vector<double>
+ResolveLlc(const MachineConfig& cfg, const std::vector<LlcRequest>& reqs)
+{
+    std::vector<double> out(reqs.size(), 0.0);
+    const double mb_per_way = cfg.MbPerWay();
+
+    // Pass 1: hard CAT partitions.
+    int restricted_ways = 0;
+    double shared_pressure = 0.0;
+    double shared_footprint = 0.0;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const auto& r = reqs[i];
+        if (r.cat_ways > 0) {
+            const int ways = std::min(r.cat_ways, cfg.llc_ways);
+            restricted_ways += ways;
+            out[i] = std::min(r.footprint_mb,
+                              static_cast<double>(ways) * mb_per_way);
+        } else {
+            shared_pressure += r.weight;
+            shared_footprint += r.footprint_mb;
+        }
+    }
+    HERACLES_CHECK_MSG(restricted_ways <= cfg.llc_ways,
+                       "CAT over-allocated: " << restricted_ways << " ways");
+
+    // Pass 2: unrestricted tasks compete for the remaining capacity.
+    const double shared_cap =
+        static_cast<double>(cfg.llc_ways - restricted_ways) * mb_per_way;
+    if (shared_footprint <= shared_cap || shared_pressure <= 0.0) {
+        // Everything fits (or nobody competes): all footprints resident.
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            if (reqs[i].cat_ways == 0) {
+                out[i] = std::min(reqs[i].footprint_mb, shared_cap);
+            }
+        }
+        return out;
+    }
+
+    // Oversubscribed: iteratively hand out pressure-proportional shares.
+    // Tasks whose share exceeds their footprint are frozen at the footprint
+    // and the slack is redistributed (a small fixed number of rounds
+    // converges because pressure only ever leaves the pool).
+    std::vector<bool> frozen(reqs.size(), false);
+    double cap_left = shared_cap;
+    double pressure_left = shared_pressure;
+    for (int round = 0; round < 4; ++round) {
+        bool changed = false;
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            const auto& r = reqs[i];
+            if (r.cat_ways > 0 || frozen[i] || pressure_left <= 0.0) {
+                continue;
+            }
+            const double share = cap_left * r.weight / pressure_left;
+            if (share >= r.footprint_mb) {
+                out[i] = r.footprint_mb;
+                frozen[i] = true;
+                cap_left -= r.footprint_mb;
+                pressure_left -= r.weight;
+                changed = true;
+            }
+        }
+        if (!changed) break;
+    }
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const auto& r = reqs[i];
+        if (r.cat_ways == 0 && !frozen[i]) {
+            out[i] = pressure_left > 0.0
+                         ? cap_left * r.weight / pressure_left
+                         : 0.0;
+            out[i] = std::min(out[i], r.footprint_mb);
+        }
+    }
+    return out;
+}
+
+}  // namespace heracles::hw

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared last-level cache model with CAT way-partitioning.
+ *
+ * Two regimes are modeled, matching how Intel CAT behaves in practice:
+ *  - Tasks with an explicit way allocation get a hard partition of
+ *    ways * MB-per-way (refills are confined to their ways).
+ *  - Tasks without an allocation compete for the remaining ways; the
+ *    steady-state occupancy of a shared cache under mixed workloads is
+ *    approximated as proportional to each task's access pressure
+ *    (footprint x access rate), capped at its footprint.
+ */
+#ifndef HERACLES_HW_LLC_H
+#define HERACLES_HW_LLC_H
+
+#include <vector>
+
+#include "hw/config.h"
+
+namespace heracles::hw {
+
+/** One competing task's view of a socket's LLC, input to the model. */
+struct LlcRequest {
+    double footprint_mb = 0.0;  ///< What the task would like resident.
+    double weight = 0.0;        ///< Competition pressure (CAT off).
+    int cat_ways = 0;           ///< Explicit CAT ways; 0 = unrestricted.
+};
+
+/**
+ * Computes each task's effective cache-resident megabytes on one socket.
+ *
+ * @param cfg machine configuration (capacity, way count).
+ * @param reqs one entry per task with cores on this socket.
+ * @return effective resident MB per task, parallel to @p reqs.
+ */
+std::vector<double> ResolveLlc(const MachineConfig& cfg,
+                               const std::vector<LlcRequest>& reqs);
+
+}  // namespace heracles::hw
+
+#endif  // HERACLES_HW_LLC_H

@@ -1,0 +1,435 @@
+#include "hw/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/dram.h"
+#include "hw/llc.h"
+#include "hw/nic.h"
+#include "hw/power.h"
+
+namespace heracles::hw {
+
+Machine::Machine(const MachineConfig& cfg, sim::EventQueue& queue)
+    : cfg_(cfg),
+      topo_(cfg),
+      queue_(queue),
+      noise_rng_(cfg.seed ^ 0xFEEDFACEull),
+      dram_granted_(cfg.sockets, 0.0),
+      socket_power_(cfg.sockets, 0.0)
+{
+    HERACLES_CHECK_MSG(cfg.sockets <= kMaxSockets,
+                       "too many sockets: " << cfg.sockets);
+    HERACLES_CHECK_MSG(cfg.LogicalCpus() <= kMaxCpus,
+                       "too many cpus: " << cfg.LogicalCpus());
+    epoch_event_ = queue_.SchedulePeriodic(cfg.epoch, cfg.epoch,
+                                           [this] { ResolveNow(); });
+}
+
+Machine::~Machine()
+{
+    queue_.Cancel(epoch_event_);
+}
+
+void
+Machine::AddClient(ResourceClient* client)
+{
+    HERACLES_CHECK(client != nullptr);
+    HERACLES_CHECK_MSG(!clients_.count(client),
+                       "client registered twice: " << client->name());
+    clients_[client] = ClientState{};
+}
+
+void
+Machine::RemoveClient(ResourceClient* client)
+{
+    clients_.erase(client);
+}
+
+Machine::ClientState&
+Machine::StateOf(ResourceClient* client)
+{
+    auto it = clients_.find(client);
+    HERACLES_CHECK_MSG(it != clients_.end(),
+                       "unregistered client: " << client->name());
+    return it->second;
+}
+
+const Machine::ClientState&
+Machine::StateOf(const ResourceClient* client) const
+{
+    auto it = clients_.find(const_cast<ResourceClient*>(client));
+    HERACLES_CHECK_MSG(it != clients_.end(),
+                       "unregistered client: " << client->name());
+    return it->second;
+}
+
+void
+Machine::AssignCpus(ResourceClient* client, const CpuSet& cpus)
+{
+    for (int cpu : cpus.Cpus()) {
+        HERACLES_CHECK_MSG(cpu < cfg_.LogicalCpus(),
+                           "cpu " << cpu << " out of range");
+    }
+    if (!allow_sharing_) {
+        for (const auto& [other, st] : clients_) {
+            if (other != client && st.cpus.Intersects(cpus)) {
+                HERACLES_FATAL("cpuset overlap between "
+                               << client->name() << " and " << other->name()
+                               << " without AllowCpuSharing");
+            }
+        }
+    }
+    StateOf(client).cpus = cpus;
+}
+
+const CpuSet&
+Machine::CpusOf(const ResourceClient* client) const
+{
+    return StateOf(client).cpus;
+}
+
+void
+Machine::SetCatWays(ResourceClient* client, int ways)
+{
+    HERACLES_CHECK_MSG(ways >= 0 && ways <= cfg_.llc_ways,
+                       "bad CAT ways: " << ways);
+    StateOf(client).cat_ways = ways;
+}
+
+int
+Machine::CatWaysOf(const ResourceClient* client) const
+{
+    return StateOf(client).cat_ways;
+}
+
+void
+Machine::SetFreqCapGhz(ResourceClient* client, double ghz)
+{
+    HERACLES_CHECK_MSG(ghz == 0.0 ||
+                           (ghz >= cfg_.min_ghz && ghz <= cfg_.turbo_1c_ghz),
+                       "bad DVFS cap: " << ghz);
+    StateOf(client).freq_cap_ghz = ghz;
+}
+
+double
+Machine::FreqCapOf(const ResourceClient* client) const
+{
+    return StateOf(client).freq_cap_ghz;
+}
+
+void
+Machine::ResolveNow()
+{
+    ResolveLlcAndDram();
+    ResolvePowerAllSockets();
+    ResolveNetwork();
+    UpdateTelemetry();
+}
+
+void
+Machine::ResolveLlcAndDram()
+{
+    // Start every resolution from a clean view; later phases fill in the
+    // power and network fields.
+    for (auto& [c, st] : clients_) {
+        st.view = TaskView{};
+        st.view.dram_stretch = 0.0;  // accumulated per socket below
+    }
+
+    // Stable iteration order: the map is keyed by pointer but we only ever
+    // use positional indices within this function.
+    std::vector<ResourceClient*> order;
+    order.reserve(clients_.size());
+    for (auto& [c, st] : clients_) order.push_back(c);
+
+    for (int socket = 0; socket < cfg_.sockets; ++socket) {
+        // Which clients have cpus here, and with what share of their cpus.
+        std::vector<LlcRequest> reqs;
+        std::vector<size_t> idx;           // into `order`
+        std::vector<double> socket_frac;   // client's cpus on this socket
+        for (size_t i = 0; i < order.size(); ++i) {
+            auto& st = clients_[order[i]];
+            if (st.cpus.Empty()) continue;
+            const int here = topo_.OnSocket(st.cpus, socket).Count();
+            if (here == 0) continue;
+            LlcRequest r;
+            r.footprint_mb = order[i]->LlcFootprintMb(socket);
+            r.weight = order[i]->LlcAccessWeight(socket);
+            r.cat_ways = st.cat_ways;
+            reqs.push_back(r);
+            idx.push_back(i);
+            socket_frac.push_back(static_cast<double>(here) /
+                                  st.cpus.Count());
+        }
+
+        const std::vector<double> llc = ResolveLlc(cfg_, reqs);
+
+        // DRAM demand given the resolved cache shares.
+        std::vector<double> demand(reqs.size(), 0.0);
+        for (size_t k = 0; k < reqs.size(); ++k) {
+            demand[k] = order[idx[k]]->DramDemandGbps(socket, llc[k]);
+        }
+        const DramOutcome dram = ResolveDram(cfg_, demand);
+        dram_granted_[socket] = dram.total_granted_gbps;
+
+        for (size_t k = 0; k < reqs.size(); ++k) {
+            TaskView& v = clients_[order[idx[k]]].view;
+            v.llc_mb[socket] = llc[k];
+            v.dram_demand_gbps[socket] = demand[k];
+            v.dram_granted_gbps[socket] = dram.granted_gbps[k];
+            // The stretch is a property of the socket; a task spanning
+            // sockets sees the demand-weighted mean (computed below).
+        }
+
+        // Record per-socket stretch on each participating client,
+        // weighted by the client's cpu fraction on this socket so a
+        // client living on one socket sees only that socket's stretch.
+        for (size_t k = 0; k < reqs.size(); ++k) {
+            TaskView& v = clients_[order[idx[k]]].view;
+            v.dram_stretch += dram.stretch * socket_frac[k];
+        }
+    }
+
+    // Clients with no cpus anywhere (or rounding shortfall) keep a
+    // neutral stretch.
+    for (auto& [c, st] : clients_) {
+        if (st.view.dram_stretch < 1.0) st.view.dram_stretch = 1.0;
+    }
+
+    // HyperThread penalties: what runs on the sibling of each cpu.
+    for (auto& [client, st] : clients_) {
+        if (st.cpus.Empty()) continue;
+        double total = 0.0;
+        int n = 0;
+        for (int cpu : st.cpus.Cpus()) {
+            double p = 1.0;
+            const int sib = topo_.SiblingOf(cpu);
+            for (auto& [other, ost] : clients_) {
+                if (other == client) continue;
+                const double aggr = other->HtAggression() - 1.0;
+                if (aggr <= 0.0) continue;
+                const double busy = other->CpuBusyFraction();
+                if (sib >= 0 && ost.cpus.Contains(sib)) {
+                    p += aggr * busy;
+                }
+                if (ost.cpus.Contains(cpu)) {
+                    // Sharing the same logical cpu (OS-only baseline) is
+                    // considerably worse than sharing a sibling.
+                    p += 1.6 * aggr * busy;
+                }
+            }
+            total += p;
+            ++n;
+        }
+        st.view.ht_penalty = n > 0 ? total / n : 1.0;
+    }
+}
+
+void
+Machine::ResolvePowerAllSockets()
+{
+    for (int socket = 0; socket < cfg_.sockets; ++socket) {
+        std::vector<CorePowerRequest> cores(cfg_.cores_per_socket);
+        // Fill per-core busy/intensity/caps from thread ownership.
+        for (auto& [client, st] : clients_) {
+            if (st.cpus.Empty()) continue;
+            const double busy = client->CpuBusyFraction();
+            const double intensity = client->PowerIntensity();
+            for (int cpu : topo_.OnSocket(st.cpus, socket).Cpus()) {
+                const int core_local =
+                    topo_.CoreOf(cpu) % cfg_.cores_per_socket;
+                auto& c = cores[core_local];
+                // Each busy thread contributes its share; two busy
+                // threads saturate the physical core.
+                const double add = busy / cfg_.threads_per_core;
+                const double w_old = c.busy;
+                c.busy = std::min(1.0, c.busy + add);
+                const double w_new = c.busy - w_old;
+                if (c.busy > 0.0) {
+                    c.intensity = (c.intensity * w_old + intensity * w_new) /
+                                  c.busy;
+                }
+                if (st.freq_cap_ghz > 0.0) {
+                    c.dvfs_cap_ghz =
+                        c.dvfs_cap_ghz > 0.0
+                            ? std::min(c.dvfs_cap_ghz, st.freq_cap_ghz)
+                            : st.freq_cap_ghz;
+                }
+            }
+        }
+        const PowerOutcome pw = ResolvePower(cfg_, cores);
+        socket_power_[socket] = pw.socket_power_w;
+
+        // Publish mean frequency per client on this socket.
+        for (auto& [client, st] : clients_) {
+            const CpuSet here = topo_.OnSocket(st.cpus, socket);
+            if (here.Empty()) continue;
+            double f = 0.0;
+            int n = 0;
+            for (int cpu : here.Cpus()) {
+                const int core_local =
+                    topo_.CoreOf(cpu) % cfg_.cores_per_socket;
+                f += pw.freq_ghz[core_local];
+                ++n;
+            }
+            // Weighted across sockets by cpu count. The view was zeroed
+            // at the start of the resolution pass.
+            const double frac =
+                static_cast<double>(n) / st.cpus.Count();
+            st.view.freq_ghz += frac * (f / n);
+        }
+    }
+    for (auto& [client, st] : clients_) {
+        if (!st.cpus.Empty() && st.view.freq_ghz < cfg_.min_ghz) {
+            st.view.freq_ghz = cfg_.min_ghz;
+        }
+    }
+}
+
+void
+Machine::ResolveNetwork()
+{
+    NicRequest req;
+    req.be_ceil_gbps = be_net_ceil_gbps_;
+    for (auto& [client, st] : clients_) {
+        if (st.cpus.Empty()) continue;
+        if (client->is_lc()) {
+            req.lc_demand_gbps += client->NetTxDemandGbps();
+        } else {
+            req.be_demand_gbps += client->NetTxDemandGbps();
+        }
+    }
+    const NicOutcome out = ResolveNic(cfg_, req);
+    lc_tx_gbps_ = out.lc_granted_gbps;
+    be_tx_gbps_ = out.be_granted_gbps;
+    link_util_ = out.link_utilization;
+
+    for (auto& [client, st] : clients_) {
+        if (client->is_lc()) {
+            st.view.net_granted_gbps = out.lc_granted_gbps;
+            st.view.net_delay_factor = out.lc_delay_factor;
+            st.view.net_overloaded = out.lc_overloaded;
+            st.view.net_drop_prob = out.lc_drop_prob;
+        } else {
+            // BE tasks split the BE grant in proportion to demand.
+            const double d = client->NetTxDemandGbps();
+            st.view.net_granted_gbps =
+                req.be_demand_gbps > 0.0
+                    ? out.be_granted_gbps * d / req.be_demand_gbps
+                    : 0.0;
+            st.view.net_delay_factor = 1.0;
+            st.view.net_overloaded =
+                d > st.view.net_granted_gbps + 1e-9;
+        }
+    }
+}
+
+void
+Machine::UpdateTelemetry()
+{
+    double busy = 0.0;
+    for (auto& [client, st] : clients_) {
+        busy += client->CpuBusyFraction() * st.cpus.Count();
+    }
+    cpu_util_ = std::min(1.0, busy / cfg_.LogicalCpus());
+
+    const sim::SimTime now = queue_.Now();
+    double dram = 0.0, power = 0.0;
+    for (int s = 0; s < cfg_.sockets; ++s) {
+        dram += dram_granted_[s];
+        power += socket_power_[s];
+    }
+    avg_dram_.Set(now, dram);
+    avg_power_.Set(now, power);
+    avg_cpu_.Set(now, cpu_util_);
+    avg_lc_tx_.Set(now, lc_tx_gbps_);
+    avg_be_tx_.Set(now, be_tx_gbps_);
+}
+
+const TaskView&
+Machine::ViewOf(const ResourceClient* client) const
+{
+    return StateOf(client).view;
+}
+
+double
+Machine::MeasuredDramGbps(int socket) const
+{
+    HERACLES_CHECK(socket >= 0 && socket < cfg_.sockets);
+    const double noise =
+        1.0 + noise_rng_.Uniform(-cfg_.counter_noise, cfg_.counter_noise);
+    return dram_granted_[socket] * noise;
+}
+
+double
+Machine::MeasuredTotalDramGbps() const
+{
+    double total = 0.0;
+    for (int s = 0; s < cfg_.sockets; ++s) total += MeasuredDramGbps(s);
+    return total;
+}
+
+double
+Machine::MeasuredSocketPowerW(int socket) const
+{
+    HERACLES_CHECK(socket >= 0 && socket < cfg_.sockets);
+    const double noise =
+        1.0 + noise_rng_.Uniform(-cfg_.counter_noise, cfg_.counter_noise);
+    return socket_power_[socket] * noise;
+}
+
+double
+Machine::MeasuredFreqGhz(const ResourceClient* client) const
+{
+    return StateOf(client).view.freq_ghz;
+}
+
+MachineTelemetry
+Machine::Telemetry() const
+{
+    MachineTelemetry t;
+    for (int s = 0; s < cfg_.sockets; ++s) {
+        t.dram_gbps += dram_granted_[s];
+        t.power_w += socket_power_[s];
+    }
+    t.dram_frac = t.dram_gbps / cfg_.TotalDramGbps();
+    t.cpu_utilization = cpu_util_;
+    t.power_frac_tdp = t.power_w / cfg_.TotalTdpW();
+    t.lc_tx_gbps = lc_tx_gbps_;
+    t.be_tx_gbps = be_tx_gbps_;
+    t.net_frac = link_util_;
+    return t;
+}
+
+MachineTelemetry
+Machine::AveragedTelemetry() const
+{
+    const sim::SimTime now = queue_.Now();
+    MachineTelemetry t;
+    t.dram_gbps = avg_dram_.Mean(now);
+    t.dram_frac = t.dram_gbps / cfg_.TotalDramGbps();
+    t.cpu_utilization = avg_cpu_.Mean(now);
+    t.power_w = avg_power_.Mean(now);
+    t.power_frac_tdp = t.power_w / cfg_.TotalTdpW();
+    t.lc_tx_gbps = avg_lc_tx_.Mean(now);
+    t.be_tx_gbps = avg_be_tx_.Mean(now);
+    t.net_frac = (t.lc_tx_gbps + t.be_tx_gbps) / cfg_.nic_gbps;
+    return t;
+}
+
+void
+Machine::ResetTelemetryAverages()
+{
+    const sim::SimTime now = queue_.Now();
+    avg_dram_ = sim::TimeWeightedMean();
+    avg_power_ = sim::TimeWeightedMean();
+    avg_cpu_ = sim::TimeWeightedMean();
+    avg_lc_tx_ = sim::TimeWeightedMean();
+    avg_be_tx_ = sim::TimeWeightedMean();
+    telemetry_reset_time_ = now;
+    // Seed the averages with the current levels.
+    const_cast<Machine*>(this)->UpdateTelemetry();
+}
+
+}  // namespace heracles::hw

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The server model: topology, task placement, isolation mechanism state,
+ * the per-epoch contention resolver, and the hardware counters.
+ *
+ * A Machine owns the authoritative state of all four isolation mechanisms
+ * the paper manages:
+ *  - core assignment (cgroup cpusets)          -> AssignCpus()
+ *  - LLC way-partitioning (Intel CAT MSRs)     -> SetCatWays()
+ *  - per-core DVFS caps                        -> SetFreqCapGhz()
+ *  - egress traffic shaping (tc qdisc HTB)     -> SetBeNetCeilGbps()
+ *
+ * Every `epoch` of simulated time (default 25 ms) the resolver recomputes
+ * who gets how much of each saturable shared resource and publishes a
+ * TaskView per registered client. Workload models read their TaskView when
+ * sampling request service times or accruing batch throughput; the
+ * platform layer exposes the counters (DRAM bandwidth, RAPL power, core
+ * frequency, link bytes) that the Heracles controller polls.
+ */
+#ifndef HERACLES_HW_MACHINE_H
+#define HERACLES_HW_MACHINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/client.h"
+#include "hw/config.h"
+#include "hw/cpuset.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace heracles::hw {
+
+/** Machine-wide telemetry snapshot (for figures and EMU accounting). */
+struct MachineTelemetry {
+    double dram_gbps = 0.0;        ///< Total granted DRAM bandwidth.
+    double dram_frac = 0.0;        ///< ... as a fraction of peak.
+    double cpu_utilization = 0.0;  ///< Busy logical cpus / total.
+    double power_w = 0.0;          ///< Total socket power.
+    double power_frac_tdp = 0.0;   ///< ... as a fraction of total TDP.
+    double lc_tx_gbps = 0.0;
+    double be_tx_gbps = 0.0;
+    double net_frac = 0.0;         ///< Link utilization.
+};
+
+/**
+ * One simulated server.
+ *
+ * Not copyable; workloads and controllers hold references. All methods
+ * must be called from simulation-event context (single-threaded).
+ */
+class Machine
+{
+  public:
+    Machine(const MachineConfig& cfg, sim::EventQueue& queue);
+    ~Machine();
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    const MachineConfig& config() const { return cfg_; }
+    const Topology& topology() const { return topo_; }
+    sim::EventQueue& queue() { return queue_; }
+
+    // --- Task registry ----------------------------------------------------
+
+    /** Registers a colocated task. The machine does not own the pointer. */
+    void AddClient(ResourceClient* client);
+
+    /** Unregisters a task (e.g. a BE job killed by the controller). */
+    void RemoveClient(ResourceClient* client);
+
+    /**
+     * Pins @p client to @p cpus (the cpuset cgroup mechanism). By default
+     * logical cpus are exclusive; overlapping assignments abort unless
+     * sharing was enabled (used by the OS-only baseline policy).
+     */
+    void AssignCpus(ResourceClient* client, const CpuSet& cpus);
+
+    /** Allows multiple tasks on the same logical cpu (OS-only baseline). */
+    void AllowCpuSharing(bool allow) { allow_sharing_ = allow; }
+
+    const CpuSet& CpusOf(const ResourceClient* client) const;
+
+    // --- Isolation mechanisms ----------------------------------------------
+
+    /**
+     * Gives @p client a hard LLC partition of @p ways ways on every socket
+     * where it has cpus; 0 restores unrestricted (shared) caching.
+     */
+    void SetCatWays(ResourceClient* client, int ways);
+    int CatWaysOf(const ResourceClient* client) const;
+
+    /** Caps the DVFS frequency of @p client's cores; 0 = uncapped. */
+    void SetFreqCapGhz(ResourceClient* client, double ghz);
+    double FreqCapOf(const ResourceClient* client) const;
+
+    /** Sets the HTB ceil for all best-effort egress traffic; <0 = off. */
+    void SetBeNetCeilGbps(double gbps) { be_net_ceil_gbps_ = gbps; }
+    double BeNetCeilGbps() const { return be_net_ceil_gbps_; }
+
+    // --- Contention resolution ---------------------------------------------
+
+    /** Re-resolves contention immediately (also runs every epoch). */
+    void ResolveNow();
+
+    /** The latest resolved view for @p client. */
+    const TaskView& ViewOf(const ResourceClient* client) const;
+
+    // --- Hardware counters (what a controller can measure) ----------------
+
+    /** Noisy measured DRAM bandwidth on @p socket (GB/s), like IMC CAS
+     *  counters. */
+    double MeasuredDramGbps(int socket) const;
+
+    /** Total measured DRAM bandwidth across sockets (GB/s). */
+    double MeasuredTotalDramGbps() const;
+
+    /** Noisy RAPL package power reading for @p socket (W). */
+    double MeasuredSocketPowerW(int socket) const;
+
+    /** Mean effective frequency of @p client's cores (GHz, aperf/mperf). */
+    double MeasuredFreqGhz(const ResourceClient* client) const;
+
+    /** Egress bandwidth of the LC / BE traffic classes (Gb/s). */
+    double LcTxGbps() const { return lc_tx_gbps_; }
+    double BeTxGbps() const { return be_tx_gbps_; }
+
+    /** Noise-free machine-wide telemetry (for reports, not controllers). */
+    MachineTelemetry Telemetry() const;
+
+    /** Time-averaged telemetry accumulated since ResetTelemetryAverages. */
+    MachineTelemetry AveragedTelemetry() const;
+    void ResetTelemetryAverages();
+
+  private:
+    struct ClientState {
+        CpuSet cpus;
+        int cat_ways = 0;
+        double freq_cap_ghz = 0.0;
+        TaskView view;
+    };
+
+    void ResolveLlcAndDram();
+    void ResolvePowerAllSockets();
+    void ResolveNetwork();
+    void UpdateTelemetry();
+    ClientState& StateOf(ResourceClient* client);
+    const ClientState& StateOf(const ResourceClient* client) const;
+
+    MachineConfig cfg_;
+    Topology topo_;
+    sim::EventQueue& queue_;
+    mutable sim::Rng noise_rng_;
+    sim::EventQueue::EventId epoch_event_;
+
+    std::map<ResourceClient*, ClientState> clients_;
+    bool allow_sharing_ = false;
+    double be_net_ceil_gbps_ = -1.0;
+
+    // Resolved machine-level state.
+    std::vector<double> dram_granted_;  ///< Per socket.
+    std::vector<double> socket_power_;  ///< Per socket.
+    double lc_tx_gbps_ = 0.0;
+    double be_tx_gbps_ = 0.0;
+    double link_util_ = 0.0;
+    double cpu_util_ = 0.0;
+
+    // Time-weighted averages for experiment reporting.
+    sim::TimeWeightedMean avg_dram_;
+    sim::TimeWeightedMean avg_power_;
+    sim::TimeWeightedMean avg_cpu_;
+    sim::TimeWeightedMean avg_lc_tx_;
+    sim::TimeWeightedMean avg_be_tx_;
+    sim::SimTime telemetry_reset_time_ = 0;
+};
+
+}  // namespace heracles::hw
+
+#endif  // HERACLES_HW_MACHINE_H

@@ -1,0 +1,54 @@
+#include "hw/nic.h"
+
+#include <algorithm>
+
+namespace heracles::hw {
+
+NicOutcome
+ResolveNic(const MachineConfig& cfg, const NicRequest& req)
+{
+    NicOutcome out;
+    const double link = cfg.nic_gbps;
+
+    // How much the BE class may send.
+    double be_allowed = req.be_demand_gbps;
+    if (req.be_ceil_gbps >= 0.0) {
+        // HTB ceil: hard cap enforced by the token bucket.
+        be_allowed = std::min(be_allowed, req.be_ceil_gbps);
+    } else {
+        // Unshaped: the mice-flow swarm captures up to its fair-share
+        // bound regardless of the LC task's needs.
+        be_allowed = std::min(be_allowed, req.be_unshaped_capture * link);
+    }
+    out.be_granted_gbps = std::min(be_allowed, link);
+
+    const double avail_lc = std::max(link - out.be_granted_gbps, 1e-3);
+    out.lc_granted_gbps = std::min(req.lc_demand_gbps, avail_lc);
+    out.lc_overloaded = req.lc_demand_gbps > avail_lc;
+
+    out.link_utilization =
+        (out.lc_granted_gbps + out.be_granted_gbps) / link;
+
+    // M/M/1-style transmit queueing on the bandwidth available to LC.
+    const double rho =
+        std::min(req.lc_demand_gbps / avail_lc, 0.995);
+    out.lc_delay_factor = 1.0 / (1.0 - rho);
+    // In overload the delay keeps growing with the excess demand: packets
+    // queue, retransmit and back off.
+    if (out.lc_overloaded) {
+        out.lc_delay_factor +=
+            150.0 * (req.lc_demand_gbps / avail_lc - 1.0);
+    }
+
+    // Unshaped mice-flow swarm: once the residual bandwidth is nearly
+    // consumed, LC packets start dropping and eat RTO-scale delays.
+    const bool swarm = req.be_ceil_gbps < 0.0 &&
+                       out.be_granted_gbps > 0.2 * link;
+    const double rho_raw = req.lc_demand_gbps / avail_lc;
+    if (swarm && rho_raw > 0.90) {
+        out.lc_drop_prob = std::min(0.3, (rho_raw - 0.90) * 2.5);
+    }
+    return out;
+}
+
+}  // namespace heracles::hw

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Egress network link model with HTB-style traffic shaping.
+ *
+ * Without shaping, a best-effort task generating many low-bandwidth "mice"
+ * flows grabs most of the link: TCP's per-flow fairness gives N flows a
+ * combined N/(N+M) share, and congestion control cannot throttle a swarm
+ * of short flows (Section 3.2 of the paper). With a hierarchical token
+ * bucket (Linux tc qdisc), the BE class is capped at a ceil and the LC
+ * class is never limited. The LC task's transmit latency scales with the
+ * utilization of whatever bandwidth is left to it.
+ */
+#ifndef HERACLES_HW_NIC_H
+#define HERACLES_HW_NIC_H
+
+#include "hw/config.h"
+
+namespace heracles::hw {
+
+/** Input demands for one resolution of the egress link. */
+struct NicRequest {
+    double lc_demand_gbps = 0.0;
+    double be_demand_gbps = 0.0;
+    /** HTB ceil for the BE class; <0 = shaping disabled (no qdisc). */
+    double be_ceil_gbps = -1.0;
+    /**
+     * How aggressively unshaped BE traffic competes: the maximum link
+     * fraction its flow swarm can capture (default 65%, i.e. many mice
+     * flows versus the LC task's fewer flows).
+     */
+    double be_unshaped_capture = 0.65;
+};
+
+/** Result of resolving the egress link. */
+struct NicOutcome {
+    double lc_granted_gbps = 0.0;
+    double be_granted_gbps = 0.0;
+    double link_utilization = 0.0;  ///< (lc + be granted) / link rate.
+    /**
+     * Multiplier on the LC task's per-response transmit time from
+     * queueing behind other traffic (>= 1).
+     */
+    double lc_delay_factor = 1.0;
+    bool lc_overloaded = false;  ///< LC demand exceeded available bandwidth.
+    /**
+     * Probability that an LC response loses a packet and eats a TCP
+     * retransmission timeout. Non-zero only when an *unshaped* mice-flow
+     * swarm congests the link: TCP congestion control cannot throttle
+     * many short flows, so LC packets are dropped at the NIC queue. HTB
+     * shaping eliminates this entirely — which is exactly why Heracles'
+     * network subcontroller exists.
+     */
+    double lc_drop_prob = 0.0;
+};
+
+/** Resolves the shared egress link for one epoch. */
+NicOutcome ResolveNic(const MachineConfig& cfg, const NicRequest& req);
+
+}  // namespace heracles::hw
+
+#endif  // HERACLES_HW_NIC_H

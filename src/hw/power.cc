@@ -1,0 +1,83 @@
+#include "hw/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heracles::hw {
+namespace {
+
+/** Socket power with frequencies scaled by @p lambda. */
+double
+PowerAt(const MachineConfig& cfg, const std::vector<CorePowerRequest>& cores,
+        double turbo, double lambda, std::vector<double>* freqs)
+{
+    double total = cfg.uncore_w;
+    for (size_t i = 0; i < cores.size(); ++i) {
+        const auto& c = cores[i];
+        double f = lambda * turbo;
+        if (c.dvfs_cap_ghz > 0.0) f = std::min(f, c.dvfs_cap_ghz);
+        f = std::max(f, cfg.min_ghz);
+        // Round down to the DVFS step grid, like real P-states.
+        f = std::floor(f / cfg.dvfs_step_ghz) * cfg.dvfs_step_ghz;
+        f = std::max(f, cfg.min_ghz);
+        if (freqs) (*freqs)[i] = f;
+        total += cfg.core_idle_w +
+                 c.busy * CoreDynPowerW(cfg, f, c.intensity);
+    }
+    return total;
+}
+
+}  // namespace
+
+double
+MaxTurboGhz(const MachineConfig& cfg, int active_cores)
+{
+    if (active_cores < 1) active_cores = 1;
+    const double f =
+        cfg.turbo_1c_ghz - cfg.turbo_slope_ghz * (active_cores - 1);
+    return std::max(f, cfg.nominal_ghz);
+}
+
+double
+CoreDynPowerW(const MachineConfig& cfg, double f_ghz, double intensity)
+{
+    return cfg.dyn_coeff_w * intensity * std::pow(f_ghz, cfg.dyn_exp);
+}
+
+PowerOutcome
+ResolvePower(const MachineConfig& cfg,
+             const std::vector<CorePowerRequest>& cores)
+{
+    PowerOutcome out;
+    out.freq_ghz.resize(cores.size(), cfg.min_ghz);
+
+    int active = 0;
+    for (const auto& c : cores) {
+        if (c.busy > 0.05) ++active;
+    }
+    const double turbo = MaxTurboGhz(cfg, active);
+
+    // Fast path: full speed fits in TDP.
+    if (PowerAt(cfg, cores, turbo, 1.0, &out.freq_ghz) <= cfg.tdp_w) {
+        out.socket_power_w = PowerAt(cfg, cores, turbo, 1.0, nullptr);
+        return out;
+    }
+
+    // Bisect the throttle scale. Power is monotone in lambda. Even at the
+    // floor the socket may exceed TDP (every core is already at f_min);
+    // real RAPL behaves the same way over short windows.
+    out.throttled = true;
+    double lo = cfg.min_ghz / turbo, hi = 1.0;
+    for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (PowerAt(cfg, cores, turbo, mid, nullptr) > cfg.tdp_w) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    out.socket_power_w = PowerAt(cfg, cores, turbo, lo, &out.freq_ghz);
+    return out;
+}
+
+}  // namespace heracles::hw

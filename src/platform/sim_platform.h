@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Platform implementation bound to the simulated server.
+ *
+ * Owns the placement policy for the LC/BE core split: the LC workload
+ * gets physical cores from the bottom of the machine (spread across both
+ * sockets), BE jobs get whole physical cores from the top of the highest
+ * socket downwards (mirroring the paper's use of numactl to confine BE
+ * jobs). Both hardware threads of a physical core always belong to the
+ * same task — Section 3's characterization shows cross-workload
+ * HyperThread sharing is never acceptable.
+ */
+#ifndef HERACLES_PLATFORM_SIM_PLATFORM_H
+#define HERACLES_PLATFORM_SIM_PLATFORM_H
+
+#include "hw/machine.h"
+#include "platform/iface.h"
+#include "workloads/be_task.h"
+#include "workloads/lc_app.h"
+
+namespace heracles::platform {
+
+/** Binds the Platform interface to hw::Machine + workload models. */
+class SimPlatform : public Platform
+{
+  public:
+    /**
+     * @param machine the server.
+     * @param lc the latency-critical workload (required).
+     * @param be the best-effort job, or nullptr when none is colocated.
+     */
+    SimPlatform(hw::Machine& machine, workloads::LcApp& lc,
+                workloads::BeTask* be);
+
+    /** Applies the initial placement: all cores to LC, BE disabled. */
+    void ApplyInitialPlacement();
+
+    // --- Platform ------------------------------------------------------------
+    sim::EventQueue& queue() override { return machine_.queue(); }
+
+    sim::Duration LcTailLatency() override { return lc_.CtlTailLatency(); }
+    sim::Duration LcFastTailLatency() override {
+        return lc_.FastTailLatency();
+    }
+    sim::Duration LcSlo() override { return lc_.params().slo_latency; }
+    double LcLoad() override { return lc_.LoadFraction(); }
+    double LcCpuUtilization() override { return lc_.CpuBusyFraction(); }
+
+    double MeasuredDramGbps() override {
+        return machine_.MeasuredTotalDramGbps();
+    }
+    double DramPeakGbps() override {
+        return machine_.config().TotalDramGbps();
+    }
+    double BeDramEstimateGbps() override;
+
+    int Sockets() override { return machine_.config().sockets; }
+    double SocketPowerW(int socket) override {
+        return machine_.MeasuredSocketPowerW(socket);
+    }
+    double TdpW() override { return machine_.config().tdp_w; }
+    double LcFreqGhz() override { return machine_.MeasuredFreqGhz(&lc_); }
+    double GuaranteedLcFreqGhz() override;
+    double MinGhz() override { return machine_.config().min_ghz; }
+    double MaxGhz() override { return machine_.config().turbo_1c_ghz; }
+    double FreqStepGhz() override { return machine_.config().dvfs_step_ghz; }
+    double BeFreqCapGhz() override;
+    void SetBeFreqCapGhz(double ghz) override;
+
+    double LcTxGbps() override { return machine_.LcTxGbps(); }
+    double LinkRateGbps() override { return machine_.config().nic_gbps; }
+    void SetBeNetCeilGbps(double gbps) override {
+        machine_.SetBeNetCeilGbps(gbps);
+    }
+
+    int TotalPhysCores() override { return machine_.config().TotalCores(); }
+    int BeCores() override { return be_cores_; }
+    void SetBeCores(int cores) override;
+    int TotalLlcWays() override { return machine_.config().llc_ways; }
+    int BeWays() override { return be_ways_; }
+    void SetBeWays(int ways) override;
+
+    bool HasBeJob() override { return be_ != nullptr; }
+    double BeRate() override;
+
+  private:
+    void ApplyCpusets();
+    void ApplyCat();
+
+    hw::Machine& machine_;
+    workloads::LcApp& lc_;
+    workloads::BeTask* be_;
+    mutable sim::Rng noise_;
+
+    int be_cores_ = 0;
+    int be_ways_ = 0;
+};
+
+}  // namespace heracles::platform
+
+#endif  // HERACLES_PLATFORM_SIM_PLATFORM_H

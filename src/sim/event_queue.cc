@@ -1,0 +1,77 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace heracles::sim {
+
+std::string
+FormatDuration(Duration d)
+{
+    char buf[64];
+    const double ad = static_cast<double>(d < 0 ? -d : d);
+    if (ad < 1e3) {
+        std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(d));
+    } else if (ad < 1e6) {
+        std::snprintf(buf, sizeof buf, "%.1fus", d / 1e3);
+    } else if (ad < 1e9) {
+        std::snprintf(buf, sizeof buf, "%.1fms", d / 1e6);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.2fs", d / 1e9);
+    }
+    return buf;
+}
+
+EventQueue::EventId
+EventQueue::ScheduleAt(SimTime when, EventFn fn)
+{
+    HERACLES_CHECK_MSG(when >= now_,
+                       "scheduling into the past: " << when << " < " << now_);
+    const EventId id = next_id_++;
+    heap_.push(Item{when, next_seq_++, id, std::move(fn), /*period=*/0});
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::SchedulePeriodic(Duration period, Duration phase, EventFn fn)
+{
+    HERACLES_CHECK_MSG(period > 0, "period must be positive: " << period);
+    HERACLES_CHECK(phase >= 0);
+    const EventId id = next_id_++;
+    heap_.push(Item{now_ + phase, next_seq_++, id, std::move(fn), period});
+    return id;
+}
+
+bool
+EventQueue::IsCancelled(EventId id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end()) return false;
+    cancelled_.erase(it);
+    return true;
+}
+
+void
+EventQueue::RunUntil(SimTime until)
+{
+    while (!heap_.empty() && heap_.top().when <= until) {
+        Item item = heap_.top();
+        heap_.pop();
+        if (IsCancelled(item.id)) {
+            // Periodic events are dropped entirely once cancelled; one-shot
+            // events simply never fire.
+            continue;
+        }
+        now_ = item.when;
+        ++executed_;
+        item.fn();
+        if (item.period > 0) {
+            item.when = now_ + item.period;
+            item.seq = next_seq_++;
+            heap_.push(std::move(item));
+        }
+    }
+    if (now_ < until) now_ = until;
+}
+
+}  // namespace heracles::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The engine is a single global-order event queue: callbacks scheduled at
+ * simulated times, executed in (time, insertion-order) order. All hardware
+ * models, workloads and controllers in this library are driven by this
+ * queue; nothing observes wall-clock time.
+ */
+#ifndef HERACLES_SIM_EVENT_QUEUE_H
+#define HERACLES_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/time.h"
+
+namespace heracles::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Priority queue of timed events plus the simulated clock.
+ *
+ * Events with equal timestamps fire in insertion order, which makes
+ * simulations deterministic for a fixed seed. Periodic events reschedule
+ * themselves until cancelled.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle used to cancel a scheduled or periodic event. */
+    using EventId = uint64_t;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    SimTime Now() const { return now_; }
+
+    /**
+     * Schedules @p fn to run at absolute time @p when.
+     * @pre when >= Now().
+     * @return handle usable with Cancel().
+     */
+    EventId ScheduleAt(SimTime when, EventFn fn);
+
+    /** Schedules @p fn to run @p delay after the current time. */
+    EventId ScheduleAfter(Duration delay, EventFn fn)
+    {
+        HERACLES_CHECK_MSG(delay >= 0, "negative delay " << delay);
+        return ScheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Schedules @p fn every @p period, first firing at Now() + @p phase.
+     * The callback keeps firing until the returned id is cancelled.
+     */
+    EventId SchedulePeriodic(Duration period, Duration phase, EventFn fn);
+
+    /** Cancels a pending (or periodic) event. Cancelling twice is a no-op. */
+    void Cancel(EventId id) { cancelled_.push_back(id); }
+
+    /** Runs events until the queue is empty or the clock reaches @p until. */
+    void RunUntil(SimTime until);
+
+    /** Runs events for @p span of simulated time from the current clock. */
+    void RunFor(Duration span) { RunUntil(now_ + span); }
+
+    /** Number of events executed so far (for micro-benchmarks and tests). */
+    uint64_t executed() const { return executed_; }
+
+    /** Number of events currently pending. */
+    size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Item {
+        SimTime when;
+        uint64_t seq;   // tie-breaker: insertion order
+        EventId id;
+        EventFn fn;
+        Duration period;   // <= 0 for one-shot events
+
+        bool
+        operator>(const Item& o) const
+        {
+            if (when != o.when) return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    bool IsCancelled(EventId id);
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+    std::vector<EventId> cancelled_;
+    SimTime now_ = 0;
+    uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    uint64_t executed_ = 0;
+};
+
+}  // namespace heracles::sim
+
+#endif  // HERACLES_SIM_EVENT_QUEUE_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lightweight assertion and fatal-error helpers.
+ *
+ * Follows the gem5 distinction between panic (internal invariant broken;
+ * a bug in this library) and fatal (user configuration error; the run
+ * cannot continue). Both abort the process after printing a message, since
+ * a simulation with a broken invariant produces meaningless results.
+ */
+#ifndef HERACLES_SIM_LOG_H
+#define HERACLES_SIM_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace heracles::sim {
+
+/** Prints a fatal message and aborts. Use via the macros below. */
+[[noreturn]] inline void
+FailImpl(const char* kind, const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "%s at %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::abort();
+}
+
+}  // namespace heracles::sim
+
+/** Aborts when an internal invariant is violated (library bug). */
+#define HERACLES_CHECK(cond)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::heracles::sim::FailImpl("panic: check failed: " #cond,          \
+                                      __FILE__, __LINE__, "");                \
+        }                                                                     \
+    } while (0)
+
+/** HERACLES_CHECK with a streamed explanation. */
+#define HERACLES_CHECK_MSG(cond, msg)                                         \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::ostringstream heracles_oss_;                                 \
+            heracles_oss_ << msg;                                             \
+            ::heracles::sim::FailImpl("panic: check failed: " #cond,          \
+                                      __FILE__, __LINE__,                     \
+                                      heracles_oss_.str());                   \
+        }                                                                     \
+    } while (0)
+
+/** Aborts on a user configuration error (bad arguments, invalid setup). */
+#define HERACLES_FATAL(msg)                                                   \
+    do {                                                                      \
+        std::ostringstream heracles_oss_;                                     \
+        heracles_oss_ << msg;                                                 \
+        ::heracles::sim::FailImpl("fatal", __FILE__, __LINE__,                \
+                                  heracles_oss_.str());                       \
+    } while (0)
+
+#endif  // HERACLES_SIM_LOG_H

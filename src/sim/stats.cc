@@ -1,0 +1,182 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace heracles::sim {
+
+namespace {
+// 64 octaves (1ns .. ~584 years) is more than enough dynamic range.
+constexpr int kOctaves = 64;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(int buckets_per_octave)
+    : buckets_per_octave_(buckets_per_octave),
+      buckets_(static_cast<size_t>(kOctaves) * buckets_per_octave, 0)
+{
+    HERACLES_CHECK(buckets_per_octave >= 1);
+}
+
+int
+LatencyHistogram::BucketIndex(Duration v) const
+{
+    if (v < 1) v = 1;
+    const double lg = std::log2(static_cast<double>(v));
+    int idx = static_cast<int>(lg * buckets_per_octave_);
+    const int max_idx = static_cast<int>(buckets_.size()) - 1;
+    return std::min(idx, max_idx);
+}
+
+Duration
+LatencyHistogram::BucketUpperEdge(int idx) const
+{
+    const double edge =
+        std::exp2(static_cast<double>(idx + 1) / buckets_per_octave_);
+    return static_cast<Duration>(edge);
+}
+
+void
+LatencyHistogram::RecordN(Duration v, uint64_t n)
+{
+    if (n == 0) return;
+    buckets_[BucketIndex(v)] += n;
+    count_ += n;
+    sum_ns_ += static_cast<double>(v) * static_cast<double>(n);
+    max_ = std::max(max_, v);
+}
+
+Duration
+LatencyHistogram::Percentile(double p) const
+{
+    if (count_ == 0) return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the requested quantile, 1-based, rounded up.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_))));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            // Never report above the true max (tightens the top bucket).
+            return std::min(BucketUpperEdge(static_cast<int>(i)), max_);
+        }
+    }
+    return max_;
+}
+
+double
+LatencyHistogram::MeanNs() const
+{
+    return count_ == 0 ? 0.0 : sum_ns_ / static_cast<double>(count_);
+}
+
+void
+LatencyHistogram::Reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ns_ = 0.0;
+    max_ = 0;
+}
+
+void
+LatencyHistogram::Merge(const LatencyHistogram& other)
+{
+    HERACLES_CHECK(buckets_per_octave_ == other.buckets_per_octave_);
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    max_ = std::max(max_, other.max_);
+}
+
+WindowedTailTracker::WindowedTailTracker(Duration window, double percentile)
+    : window_(window), percentile_(percentile), window_end_(window)
+{
+    HERACLES_CHECK(window > 0);
+    HERACLES_CHECK(percentile > 0.0 && percentile < 1.0);
+}
+
+void
+WindowedTailTracker::Record(SimTime now, Duration latency, uint64_t n)
+{
+    MaybeRoll(now);
+    current_.RecordN(latency, n);
+    all_.RecordN(latency, n);
+}
+
+void
+WindowedTailTracker::MaybeRoll(SimTime now)
+{
+    while (now >= window_end_) {
+        CloseWindow();
+        window_end_ += window_;
+    }
+}
+
+void
+WindowedTailTracker::CloseWindow()
+{
+    if (!current_.empty()) {
+        last_window_tail_ = current_.Percentile(percentile_);
+        last_window_mean_ = current_.MeanNs();
+        last_window_count_ = current_.count();
+        worst_window_tail_ = std::max(worst_window_tail_, last_window_tail_);
+        ++windows_completed_;
+        current_.Reset();
+    }
+}
+
+void
+TimeWeightedMean::Set(SimTime now, double value)
+{
+    if (!started_) {
+        started_ = true;
+        start_ = now;
+    } else if (now > last_change_) {
+        weighted_sum_ +=
+            value_ * static_cast<double>(now - last_change_);
+    }
+    last_change_ = now;
+    value_ = value;
+    max_ = std::max(max_, value);
+}
+
+double
+TimeWeightedMean::Mean(SimTime now) const
+{
+    if (!started_ || now <= start_) return 0.0;
+    double sum = weighted_sum_;
+    if (now > last_change_) {
+        sum += value_ * static_cast<double>(now - last_change_);
+    }
+    return sum / static_cast<double>(now - start_);
+}
+
+double
+TimeSeries::MeanValue() const
+{
+    if (v.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+TimeSeries::MinValue() const
+{
+    if (v.empty()) return 0.0;
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+TimeSeries::MaxValue() const
+{
+    if (v.empty()) return 0.0;
+    return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace heracles::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simulated time primitives.
+ *
+ * All simulated time is kept as a signed 64-bit count of nanoseconds. A
+ * nanosecond tick is fine enough for the microsecond-scale SLOs of memkeyval
+ * and wide enough for multi-day simulations (~292 years of range).
+ */
+#ifndef HERACLES_SIM_TIME_H
+#define HERACLES_SIM_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace heracles::sim {
+
+/** A point in simulated time, in nanoseconds since simulation start. */
+using SimTime = int64_t;
+
+/** A span of simulated time, in nanoseconds. */
+using Duration = int64_t;
+
+/** @name Duration construction helpers
+ *  @{ */
+constexpr Duration Nanos(double ns) { return static_cast<Duration>(ns); }
+constexpr Duration Micros(double us) {
+    return static_cast<Duration>(us * 1e3);
+}
+constexpr Duration Millis(double ms) {
+    return static_cast<Duration>(ms * 1e6);
+}
+constexpr Duration Seconds(double s) { return static_cast<Duration>(s * 1e9); }
+constexpr Duration Minutes(double m) {
+    return static_cast<Duration>(m * 60e9);
+}
+constexpr Duration Hours(double h) {
+    return static_cast<Duration>(h * 3600e9);
+}
+/** @} */
+
+/** @name Duration conversion helpers
+ *  @{ */
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+constexpr double ToHours(Duration d) {
+    return static_cast<double>(d) / 3600e9;
+}
+/** @} */
+
+/** Formats a duration with an adaptive unit (ns/us/ms/s), e.g. "12.3ms". */
+std::string FormatDuration(Duration d);
+
+}  // namespace heracles::sim
+
+#endif  // HERACLES_SIM_TIME_H

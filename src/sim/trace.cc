@@ -1,0 +1,127 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace heracles::sim {
+
+StepTrace::StepTrace(std::vector<Step> steps) : steps_(std::move(steps))
+{
+    HERACLES_CHECK_MSG(!steps_.empty(), "StepTrace needs at least one step");
+    HERACLES_CHECK_MSG(steps_.front().start == 0,
+                       "first step must start at t=0");
+    for (size_t i = 1; i < steps_.size(); ++i) {
+        HERACLES_CHECK_MSG(steps_[i].start > steps_[i - 1].start,
+                           "steps must be strictly increasing in time");
+    }
+}
+
+double
+StepTrace::LoadAt(SimTime t) const
+{
+    // Last step whose start <= t.
+    auto it = std::upper_bound(
+        steps_.begin(), steps_.end(), t,
+        [](SimTime v, const Step& s) { return v < s.start; });
+    return std::prev(it)->load;
+}
+
+Duration
+StepTrace::Length() const
+{
+    return steps_.back().start;
+}
+
+DiurnalTrace::DiurnalTrace(Duration length, double low, double high,
+                           double jitter, uint64_t seed)
+    : length_(length), low_(low), high_(high), jitter_(jitter)
+{
+    HERACLES_CHECK(length > 0);
+    HERACLES_CHECK(low >= 0.0 && high <= 1.0 && low < high);
+    Rng rng(seed);
+    const size_t minutes =
+        static_cast<size_t>(ToSeconds(length) / 60.0) + 2;
+    noise_.reserve(minutes);
+    double n = 0.0;
+    for (size_t i = 0; i < minutes; ++i) {
+        // A clipped random walk gives smoothly-varying jitter rather than
+        // white noise.
+        n = std::clamp(n + rng.Uniform(-jitter_, jitter_), -jitter_, jitter_);
+        noise_.push_back(n);
+    }
+}
+
+double
+DiurnalTrace::LoadAt(SimTime t) const
+{
+    const double x =
+        std::clamp(ToSeconds(t) / ToSeconds(length_), 0.0, 1.0);
+    // Cosine valley: starts at `high`, dips to `low` mid-trace, recovers.
+    const double base =
+        low_ + (high_ - low_) * (0.5 + 0.5 * std::cos(2.0 * M_PI * x));
+    const size_t minute =
+        std::min(noise_.size() - 1,
+                 static_cast<size_t>(ToSeconds(t) / 60.0));
+    return std::clamp(base + noise_[minute], 0.0, 1.0);
+}
+
+std::unique_ptr<CsvTrace>
+CsvTrace::FromString(const std::string& csv)
+{
+    auto trace = std::unique_ptr<CsvTrace>(new CsvTrace());
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream row(line);
+        double secs = 0.0, load = 0.0;
+        char comma = 0;
+        if (!(row >> secs >> comma >> load) || comma != ',') {
+            HERACLES_FATAL("malformed CSV trace row: '" << line << "'");
+        }
+        if (load > 1.5) load /= 100.0;  // percent notation
+        if (!trace->times_.empty() &&
+            Seconds(secs) <= trace->times_.back()) {
+            HERACLES_FATAL("CSV trace times must be increasing at: " << line);
+        }
+        trace->times_.push_back(Seconds(secs));
+        trace->loads_.push_back(std::clamp(load, 0.0, 1.0));
+    }
+    if (trace->times_.empty()) HERACLES_FATAL("empty CSV trace");
+    return trace;
+}
+
+std::unique_ptr<CsvTrace>
+CsvTrace::FromFile(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f) HERACLES_FATAL("cannot open trace file: " << path);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    return FromString(buf.str());
+}
+
+double
+CsvTrace::LoadAt(SimTime t) const
+{
+    if (t <= times_.front()) return loads_.front();
+    if (t >= times_.back()) return loads_.back();
+    const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+    const size_t i = static_cast<size_t>(it - times_.begin());
+    const double frac =
+        static_cast<double>(t - times_[i - 1]) /
+        static_cast<double>(times_[i] - times_[i - 1]);
+    return loads_[i - 1] + frac * (loads_[i] - loads_[i - 1]);
+}
+
+Duration
+CsvTrace::Length() const
+{
+    return times_.back();
+}
+
+}  // namespace heracles::sim

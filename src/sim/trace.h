@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Load traces: time-varying target load for latency-critical workloads.
+ *
+ * The paper drives single-server sweeps with fixed load points and the
+ * cluster experiment with an anonymized 12-hour production trace capturing
+ * diurnal variation. This module provides constant, step, CSV-playback and
+ * synthetic-diurnal traces with the same interface.
+ */
+#ifndef HERACLES_SIM_TRACE_H
+#define HERACLES_SIM_TRACE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace heracles::sim {
+
+/** A time-varying load signal in [0, 1] (fraction of workload peak). */
+class LoadTrace
+{
+  public:
+    virtual ~LoadTrace() = default;
+
+    /** Target load fraction at simulated time @p t. */
+    virtual double LoadAt(SimTime t) const = 0;
+
+    /** Total trace duration (after which LoadAt holds its final value). */
+    virtual Duration Length() const = 0;
+};
+
+/** Constant load forever. */
+class ConstantTrace : public LoadTrace
+{
+  public:
+    explicit ConstantTrace(double load) : load_(load) {}
+    double LoadAt(SimTime) const override { return load_; }
+    Duration Length() const override { return 0; }
+
+  private:
+    double load_;
+};
+
+/** Piecewise-constant schedule of (start_time, load) steps. */
+class StepTrace : public LoadTrace
+{
+  public:
+    struct Step {
+        SimTime start;
+        double load;
+    };
+
+    /** @pre steps sorted by start time, first at t=0. */
+    explicit StepTrace(std::vector<Step> steps);
+
+    double LoadAt(SimTime t) const override;
+    Duration Length() const override;
+
+  private:
+    std::vector<Step> steps_;
+};
+
+/**
+ * Synthetic diurnal trace emulating the paper's 12-hour websearch trace:
+ * a smooth valley-to-peak swing between @p low and @p high with bounded
+ * random jitter, starting and ending near the peak.
+ */
+class DiurnalTrace : public LoadTrace
+{
+  public:
+    DiurnalTrace(Duration length, double low, double high,
+                 double jitter = 0.02, uint64_t seed = 42);
+
+    double LoadAt(SimTime t) const override;
+    Duration Length() const override { return length_; }
+
+  private:
+    Duration length_;
+    double low_, high_, jitter_;
+    std::vector<double> noise_;  // precomputed per-minute jitter
+};
+
+/**
+ * Plays back "seconds,load" CSV rows (load either fraction or percent —
+ * values > 1.5 are treated as percent). Linear interpolation between rows.
+ */
+class CsvTrace : public LoadTrace
+{
+  public:
+    /** Parses CSV text. Throws HERACLES_FATAL on malformed input. */
+    static std::unique_ptr<CsvTrace> FromString(const std::string& csv);
+
+    /** Loads and parses a CSV file. */
+    static std::unique_ptr<CsvTrace> FromFile(const std::string& path);
+
+    double LoadAt(SimTime t) const override;
+    Duration Length() const override;
+
+  private:
+    std::vector<SimTime> times_;
+    std::vector<double> loads_;
+};
+
+}  // namespace heracles::sim
+
+#endif  // HERACLES_SIM_TRACE_H

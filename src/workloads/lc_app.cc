@@ -1,0 +1,433 @@
+#include "workloads/lc_app.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heracles::workloads {
+
+LcApp::LcApp(hw::Machine& machine, const LcParams& params, uint64_t seed)
+    : machine_(machine),
+      params_(params),
+      rng_(seed),
+      report_tail_(params.report_window, params.slo_percentile),
+      ctl_tail_(params.ctl_window, params.slo_percentile),
+      fast_tail_(params.fast_window, params.slo_percentile)
+{
+    HERACLES_CHECK(params_.peak_qps > 0 && params_.mean_service > 0);
+    HERACLES_CHECK(params_.batch >= 1);
+    machine_.AddClient(this);
+    rate_event_ = machine_.queue().SchedulePeriodic(
+        sim::Seconds(1), sim::Seconds(1), [this] { UpdateRates(); });
+}
+
+LcApp::~LcApp()
+{
+    machine_.queue().Cancel(rate_event_);
+    machine_.RemoveClient(this);
+}
+
+void
+LcApp::SetCpus(const hw::CpuSet& cpus)
+{
+    AccumulateBusy();
+    machine_.AssignCpus(this, cpus);
+    capacity_ = cpus.Count();
+    phys_cores_ = machine_.topology().PhysicalCoreCount(cpus);
+    TryDispatch();
+}
+
+void
+LcApp::SetTrace(const sim::LoadTrace* trace)
+{
+    trace_ = trace;
+    owned_trace_.reset();
+}
+
+void
+LcApp::SetLoad(double load_fraction)
+{
+    owned_trace_ = std::make_unique<sim::ConstantTrace>(load_fraction);
+    trace_ = owned_trace_.get();
+}
+
+void
+LcApp::SetSchedDelayModel(double prob, sim::Duration lo, sim::Duration hi)
+{
+    HERACLES_CHECK(prob >= 0.0 && prob <= 1.0 && lo >= 0 && hi >= lo);
+    sched_delay_prob_ = prob;
+    sched_delay_lo_ = lo;
+    sched_delay_hi_ = hi;
+}
+
+void
+LcApp::Start()
+{
+    HERACLES_CHECK_MSG(!started_, "LcApp started twice");
+    HERACLES_CHECK_MSG(trace_ != nullptr, "no load set before Start()");
+    HERACLES_CHECK_MSG(capacity_ > 0, "no cpus assigned before Start()");
+    started_ = true;
+    ScheduleNextArrival();
+}
+
+void
+LcApp::StartExternal()
+{
+    HERACLES_CHECK_MSG(!started_, "LcApp started twice");
+    HERACLES_CHECK_MSG(capacity_ > 0, "no cpus assigned before Start()");
+    started_ = true;
+    external_ = true;
+}
+
+void
+LcApp::InjectRequest(uint64_t tag)
+{
+    HERACLES_CHECK_MSG(external_, "InjectRequest requires StartExternal()");
+    arrivals_in_sec_ += static_cast<uint64_t>(params_.batch);
+    total_arrived_ += static_cast<uint64_t>(params_.batch);
+    Request req;
+    req.arrival = machine_.queue().Now();
+    req.tag = tag;
+    req.tracked = true;
+    queue_.push_back(req);
+    TryDispatch();
+}
+
+void
+LcApp::ScheduleNextArrival()
+{
+    const sim::SimTime now = machine_.queue().Now();
+    const double load = trace_->LoadAt(now);
+    const double rate =
+        load * params_.peak_qps / params_.batch;  // batch arrivals/sec
+    if (rate <= 1e-6) {
+        // Idle: poll the trace again shortly.
+        machine_.queue().ScheduleAfter(sim::Millis(100),
+                                       [this] { ScheduleNextArrival(); });
+        return;
+    }
+    const sim::Duration gap =
+        std::max<sim::Duration>(1, sim::Seconds(rng_.Exponential(1.0 / rate)));
+    machine_.queue().ScheduleAfter(gap, [this] { OnArrival(); });
+}
+
+void
+LcApp::OnArrival()
+{
+    arrivals_in_sec_ += static_cast<uint64_t>(params_.batch);
+    total_arrived_ += static_cast<uint64_t>(params_.batch);
+    Request req;
+    req.arrival = machine_.queue().Now();
+    queue_.push_back(req);
+    TryDispatch();
+    ScheduleNextArrival();
+}
+
+void
+LcApp::TryDispatch()
+{
+    while (busy_ < capacity_ && !queue_.empty()) {
+        Request req = queue_.front();
+        queue_.pop_front();
+        StartService(req);
+    }
+}
+
+void
+LcApp::StartService(Request req)
+{
+    AccumulateBusy();
+    ++busy_;
+    // The scheduler fills idle physical cores before doubling up on
+    // HyperThread siblings, so self-HT slowdown applies only once the
+    // number of in-flight requests exceeds the physical core count.
+    const bool ht_shared = busy_ > phys_cores_;
+    sim::Duration service = SampleServiceTime(ht_shared);
+    if (sched_delay_prob_ > 0.0 && rng_.Bernoulli(sched_delay_prob_)) {
+        service += static_cast<sim::Duration>(rng_.Uniform(
+            static_cast<double>(sched_delay_lo_),
+            static_cast<double>(sched_delay_hi_)));
+    }
+    machine_.queue().ScheduleAfter(service,
+                                   [this, req] { OnCompletion(req); });
+}
+
+void
+LcApp::OnCompletion(Request req)
+{
+    const sim::SimTime arrival = req.arrival;
+    AccumulateBusy();
+    --busy_;
+    completions_in_sec_ += static_cast<uint64_t>(params_.batch);
+    total_completed_ += static_cast<uint64_t>(params_.batch);
+
+    const hw::TaskView& view = machine_.ViewOf(this);
+    const sim::SimTime now = machine_.queue().Now();
+    // Response transmission: wire time inflated by egress queueing.
+    const double wire_s = params_.resp_bytes * 8.0 /
+                          (machine_.config().nic_gbps * 1e9);
+    sim::Duration net = sim::Seconds(wire_s * view.net_delay_factor);
+    if (view.net_drop_prob > 0.0 && rng_.Bernoulli(view.net_drop_prob)) {
+        // Lost packet: TCP minimum retransmission timeout.
+        net += sim::Millis(200);
+    }
+    const sim::Duration latency = (now - arrival) + net;
+
+    report_tail_.Record(now, latency, static_cast<uint64_t>(params_.batch));
+    ctl_tail_.Record(now, latency, static_cast<uint64_t>(params_.batch));
+    fast_tail_.Record(now, latency, static_cast<uint64_t>(params_.batch));
+
+    if (req.tracked && completion_fn_) completion_fn_(req.tag, latency);
+
+    TryDispatch();
+}
+
+double
+LcApp::DataFootprintMb(const LcParams& params, double load)
+{
+    const CacheProfile& c = params.cache;
+    load = std::clamp(load, 0.0, 1.2);
+    return c.data_base_mb +
+           c.data_slope_mb * std::pow(load, c.footprint_load_exp);
+}
+
+std::pair<double, double>
+LcApp::CacheFactorsFor(const LcParams& params, double load, double eff_mb)
+{
+    const CacheProfile& c = params.cache;
+    const double instr_resident =
+        std::clamp(eff_mb / c.instr_mb, 0.0, 1.0);
+    const double leftover = std::max(0.0, eff_mb - c.instr_mb);
+    const double data_needed =
+        std::max(DataFootprintMb(params, load), 0.1);
+    const double data_hit = std::clamp(leftover / data_needed, 0.0, 1.0);
+    const double instr_pen =
+        1.0 + (1.0 - instr_resident) * (c.instr_miss_penalty - 1.0);
+    const double data_miss =
+        c.mem_miss_ceil - (c.mem_miss_ceil - 1.0) * data_hit;
+    return {instr_pen, data_miss};
+}
+
+double
+LcApp::AnalyticDramGbps(const LcParams& params, const hw::MachineConfig& cfg,
+                        double load, double eff_mb)
+{
+    load = std::clamp(load, 0.0, 1.2);
+    const double warm = cfg.TotalDramGbps() * params.peak_dram_frac *
+                        std::pow(load, params.bw_load_exp);
+    const auto [ip, data_miss] = CacheFactorsFor(params, load, eff_mb);
+    (void)ip;
+    return warm * data_miss;
+}
+
+std::pair<double, double>
+LcApp::CacheFactors(double eff_mb) const
+{
+    return CacheFactorsFor(params_, LoadFraction(), eff_mb);
+}
+
+double
+LcApp::CurrentDataFootprintMb() const
+{
+    return DataFootprintMb(params_, LoadFraction());
+}
+
+sim::Duration
+LcApp::SampleServiceTime(bool ht_shared)
+{
+    const hw::TaskView& view = machine_.ViewOf(this);
+    const hw::MachineConfig& cfg = machine_.config();
+    const auto& topo = machine_.topology();
+    const hw::CpuSet& cpus = machine_.CpusOf(this);
+
+    // Cache factors: cpu-weighted mean over the sockets we occupy.
+    double instr_pen = 1.0, data_miss = 1.0;
+    if (!cpus.Empty()) {
+        instr_pen = 0.0;
+        data_miss = 0.0;
+        for (int s = 0; s < cfg.sockets; ++s) {
+            const int here = topo.OnSocket(cpus, s).Count();
+            if (here == 0) continue;
+            const double w = static_cast<double>(here) / cpus.Count();
+            const auto [ip, dm] = CacheFactors(view.llc_mb[s]);
+            instr_pen += w * ip;
+            data_miss += w * dm;
+        }
+    }
+
+    const double base = rng_.LogNormalWithMean(
+        static_cast<double>(params_.mean_service), params_.service_sigma);
+
+    const double freq =
+        view.freq_ghz > 0.0 ? view.freq_ghz : cfg.nominal_ghz;
+    double compute = base * (1.0 - params_.mem_frac);
+    compute *= cfg.nominal_ghz / freq;
+    compute *= view.ht_penalty;
+    if (ht_shared) compute *= params_.ht_self_penalty;
+    compute *= instr_pen;
+
+    double mem = base * params_.mem_frac;
+    mem *= data_miss;
+    mem *= view.dram_stretch;
+
+    return static_cast<sim::Duration>(compute + mem);
+}
+
+void
+LcApp::UpdateRates()
+{
+    constexpr double kAlpha = 0.3;
+    qps_ewma_ = (1.0 - kAlpha) * qps_ewma_ +
+                kAlpha * static_cast<double>(arrivals_in_sec_);
+    served_ewma_ = (1.0 - kAlpha) * served_ewma_ +
+                   kAlpha * static_cast<double>(completions_in_sec_);
+    arrivals_in_sec_ = 0;
+    completions_in_sec_ = 0;
+
+    const sim::SimTime now = machine_.queue().Now();
+    report_tail_.MaybeRoll(now);
+    ctl_tail_.MaybeRoll(now);
+    fast_tail_.MaybeRoll(now);
+}
+
+void
+LcApp::AccumulateBusy()
+{
+    const sim::SimTime now = machine_.queue().Now();
+    busy_integral_ += static_cast<double>(busy_) *
+                      static_cast<double>(now - busy_last_change_);
+    busy_last_change_ = now;
+}
+
+double
+LcApp::CpuBusyFraction() const
+{
+    const sim::SimTime now = machine_.queue().Now();
+    const_cast<LcApp*>(this)->AccumulateBusy();
+    const sim::SimTime span = now - busy_last_query_;
+    double util;
+    if (span <= 0 || capacity_ == 0) {
+        util = capacity_ > 0
+                   ? std::min(1.0, static_cast<double>(busy_) / capacity_)
+                   : 0.0;
+    } else {
+        util = busy_integral_ /
+               (static_cast<double>(span) * std::max(capacity_, 1));
+        util = std::clamp(util, 0.0, 1.0);
+    }
+    busy_last_query_ = now;
+    busy_integral_ = 0.0;
+    return util;
+}
+
+double
+LcApp::LlcFootprintMb(int socket) const
+{
+    const hw::CpuSet& cpus = machine_.CpusOf(this);
+    if (machine_.topology().OnSocket(cpus, socket).Empty()) return 0.0;
+    return params_.cache.instr_mb + CurrentDataFootprintMb();
+}
+
+double
+LcApp::LlcAccessWeight(int socket) const
+{
+    const hw::CpuSet& cpus = machine_.CpusOf(this);
+    if (machine_.topology().OnSocket(cpus, socket).Empty()) return 0.0;
+    // Access pressure grows with request rate; a small floor keeps some
+    // residency at idle.
+    return params_.access_weight_scale *
+           std::max(0.03, std::min(ServedFraction(), 1.2));
+}
+
+double
+LcApp::DramDemandGbps(int socket, double effective_llc_mb) const
+{
+    const hw::CpuSet& cpus = machine_.CpusOf(this);
+    const auto& topo = machine_.topology();
+    const int here = topo.OnSocket(cpus, socket).Count();
+    if (here == 0 || cpus.Empty()) return 0.0;
+
+    // Demand follows the served request rate (an overloaded service
+    // cannot demand bandwidth for requests it is not processing). Cache
+    // starvation converts hits into extra DRAM traffic.
+    const double load = std::clamp(ServedFraction(), 0.0, 1.2);
+    const double socket_share =
+        static_cast<double>(here) / cpus.Count();
+    return AnalyticDramGbps(params_, machine_.config(), load,
+                            effective_llc_mb) *
+           socket_share;
+}
+
+double
+LcApp::NetTxDemandGbps() const
+{
+    return served_ewma_ * params_.resp_bytes * 8.0 / 1e9;
+}
+
+sim::Duration
+LcApp::CtlTailLatency() const
+{
+    // Roll on read so a poll landing exactly on a window boundary (or
+    // during a total-starvation episode) still sees the freshest window.
+    ctl_tail_.MaybeRoll(machine_.queue().Now());
+    return ctl_tail_.LastWindowTail();
+}
+
+sim::Duration
+LcApp::FastTailLatency() const
+{
+    fast_tail_.MaybeRoll(machine_.queue().Now());
+    return fast_tail_.LastWindowTail();
+}
+
+sim::Duration
+LcApp::WorstReportTail() const
+{
+    // Include the in-progress window so short measurement phases (or an
+    // overload at the very end of a run) are never missed.
+    return report_tail_.WorstObservedTail();
+}
+
+sim::Duration
+LcApp::LastReportTail() const
+{
+    return report_tail_.LastWindowTail();
+}
+
+void
+LcApp::SetSloLatency(sim::Duration slo)
+{
+    HERACLES_CHECK(slo > 0);
+    params_.slo_latency = slo;
+}
+
+void
+LcApp::ResetStats()
+{
+    report_tail_ = sim::WindowedTailTracker(params_.report_window,
+                                            params_.slo_percentile);
+    ctl_tail_ = sim::WindowedTailTracker(params_.ctl_window,
+                                         params_.slo_percentile);
+    fast_tail_ = sim::WindowedTailTracker(params_.fast_window,
+                                          params_.slo_percentile);
+    // Window boundaries are phase-locked to t=0; fast-forward to now.
+    const sim::SimTime now = machine_.queue().Now();
+    report_tail_.MaybeRoll(now);
+    ctl_tail_.MaybeRoll(now);
+    fast_tail_.MaybeRoll(now);
+}
+
+int
+LcApp::MinPhysCoresForLoad(double load, double util) const
+{
+    HERACLES_CHECK(util > 0.0 && util <= 1.0);
+    const double demand_threads =
+        load * params_.peak_qps *
+        sim::ToSeconds(params_.mean_service);
+    const double per_core =
+        machine_.config().threads_per_core / params_.ht_self_penalty;
+    const int cores = static_cast<int>(
+        std::ceil(demand_threads / (per_core * util)));
+    return std::clamp(cores, 1, machine_.config().TotalCores());
+}
+
+}  // namespace heracles::workloads

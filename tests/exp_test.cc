@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the experiment harness: policies, EMU accounting, the
+ * characterization rig and the reporting utilities.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/characterization.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+
+namespace heracles::exp {
+namespace {
+
+ExperimentConfig
+QuickConfig()
+{
+    ExperimentConfig cfg;
+    cfg.warmup = sim::Seconds(90);
+    cfg.measure = sim::Seconds(60);
+    return cfg;
+}
+
+// --------------------------------------------------------------------------
+// Reporting
+
+TEST(Reporting, TableAlignsColumns)
+{
+    Table t({"a", "bbbb"});
+    t.AddRow({"xx", "y"});
+    std::ostringstream os;
+    t.Print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a   bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xx  y"), std::string::npos);
+}
+
+TEST(Reporting, TableCsv)
+{
+    Table t({"a", "b"});
+    t.AddRow({"1", "2"});
+    std::ostringstream os;
+    t.PrintCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportingDeath, RowWidthMismatchAborts)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.AddRow({"only-one"}), "width");
+}
+
+TEST(Reporting, Formatters)
+{
+    EXPECT_EQ(FormatPct(0.87), "87%");
+    EXPECT_EQ(FormatPct(0.875, 1), "87.5%");
+    EXPECT_EQ(FormatTailFrac(0.5), "50%");
+    EXPECT_EQ(FormatTailFrac(3.5), ">300%");
+    EXPECT_EQ(FormatDouble(1.2345, 2), "1.23");
+}
+
+TEST(Reporting, PolicyNames)
+{
+    EXPECT_EQ(PolicyName(PolicyKind::kNoColocation), "baseline");
+    EXPECT_EQ(PolicyName(PolicyKind::kHeracles), "heracles");
+    EXPECT_EQ(PolicyName(PolicyKind::kOsOnly), "os-only");
+    EXPECT_EQ(PolicyName(PolicyKind::kStaticPartition), "static");
+}
+
+// --------------------------------------------------------------------------
+// Experiment runner
+
+TEST(Experiment, PaperLoadsCoverRange)
+{
+    const auto loads = Experiment::PaperLoads(0.10);
+    EXPECT_NEAR(loads.front(), 0.05, 1e-9);
+    EXPECT_GE(loads.back(), 0.90);
+}
+
+TEST(Experiment, BaselineMeetsSlo)
+{
+    ExperimentConfig cfg = QuickConfig();
+    cfg.lc = workloads::Websearch();
+    cfg.policy = PolicyKind::kNoColocation;
+    Experiment e(cfg);
+    const auto r = e.RunAt(0.5);
+    EXPECT_FALSE(r.slo_violated);
+    EXPECT_NEAR(r.lc_throughput, 0.5, 0.05);
+    EXPECT_NEAR(r.emu, 0.5, 0.05);  // no BE: EMU is just the LC load
+    EXPECT_EQ(r.be_cores, 0);
+}
+
+TEST(Experiment, OsOnlyPolicyViolates)
+{
+    ExperimentConfig cfg = QuickConfig();
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::Brain();
+    cfg.policy = PolicyKind::kOsOnly;
+    Experiment e(cfg);
+    const auto r = e.RunAt(0.5);
+    EXPECT_TRUE(r.slo_violated);
+}
+
+TEST(Experiment, HeraclesBeatsOsOnlyAndMeetsSlo)
+{
+    ExperimentConfig cfg = QuickConfig();
+    cfg.warmup = sim::Seconds(150);
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::Brain();
+    cfg.policy = PolicyKind::kHeracles;
+    Experiment e(cfg);
+    const auto r = e.RunAt(0.4);
+    EXPECT_FALSE(r.slo_violated);
+    EXPECT_GT(r.emu, 0.6);  // well above the 0.4 baseline
+    EXPECT_GT(r.be_throughput, 0.1);
+}
+
+TEST(Experiment, StaticPartitionSafeButLowEmuAtHighLoad)
+{
+    ExperimentConfig cfg = QuickConfig();
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::Brain();
+    cfg.policy = PolicyKind::kStaticPartition;
+    Experiment e(cfg);
+    // At high load half the cores cannot carry websearch: violation —
+    // the static split is either wasteful or unsafe, never both right.
+    const auto high = e.RunAt(0.85);
+    EXPECT_TRUE(high.slo_violated);
+}
+
+TEST(Experiment, BeAloneRateComputedOnce)
+{
+    ExperimentConfig cfg = QuickConfig();
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::Brain();
+    cfg.policy = PolicyKind::kHeracles;
+    Experiment e(cfg);
+    EXPECT_GT(e.BeAloneRate(), 1.0);
+}
+
+TEST(Experiment, SweepReturnsOnePerLoad)
+{
+    ExperimentConfig cfg = QuickConfig();
+    cfg.warmup = sim::Seconds(30);
+    cfg.measure = sim::Seconds(30);
+    cfg.lc = workloads::Websearch();
+    cfg.policy = PolicyKind::kNoColocation;
+    Experiment e(cfg);
+    const auto rs = e.Sweep({0.2, 0.5, 0.8});
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_DOUBLE_EQ(rs[0].load, 0.2);
+    EXPECT_DOUBLE_EQ(rs[2].load, 0.8);
+    EXPECT_LT(rs[0].telemetry.cpu_utilization,
+              rs[2].telemetry.cpu_utilization);
+}
+
+TEST(Experiment, ResultsDeterministicForSeed)
+{
+    ExperimentConfig cfg = QuickConfig();
+    cfg.warmup = sim::Seconds(20);
+    cfg.measure = sim::Seconds(20);
+    cfg.lc = workloads::Websearch();
+    cfg.policy = PolicyKind::kNoColocation;
+    cfg.seed = 99;
+    Experiment a(cfg), b(cfg);
+    EXPECT_EQ(a.RunAt(0.5).worst_tail, b.RunAt(0.5).worst_tail);
+}
+
+// --------------------------------------------------------------------------
+// Characterization rig
+
+TEST(Characterization, NamesAndOrder)
+{
+    const auto all = AllAntagonists();
+    ASSERT_EQ(all.size(), 8u);
+    EXPECT_EQ(AntagonistName(all[0]), "LLC (small)");
+    EXPECT_EQ(AntagonistName(all[7]), "brain");
+    EXPECT_EQ(CharacterizationRig::PaperLoads().size(), 19u);
+}
+
+TEST(Characterization, BrainOsOnlyAlwaysViolates)
+{
+    CharacterizationRig rig(hw::MachineConfig{}, workloads::Websearch(),
+                            sim::Seconds(10), sim::Seconds(20));
+    EXPECT_GT(rig.RunCell(AntagonistKind::kBrainOsOnly, 0.3), 1.0);
+}
+
+TEST(Characterization, DramAntagonistCrushesLowLoad)
+{
+    CharacterizationRig rig(hw::MachineConfig{}, workloads::Websearch(),
+                            sim::Seconds(10), sim::Seconds(20));
+    EXPECT_GT(rig.RunCell(AntagonistKind::kDram, 0.2), 3.0);
+}
+
+TEST(Characterization, DramAntagonistFadesAtHighLoad)
+{
+    CharacterizationRig rig(hw::MachineConfig{}, workloads::Websearch(),
+                            sim::Seconds(10), sim::Seconds(20));
+    EXPECT_LT(rig.RunCell(AntagonistKind::kDram, 0.95), 1.0);
+}
+
+TEST(Characterization, WebsearchImmuneToNetworkAntagonist)
+{
+    CharacterizationRig rig(hw::MachineConfig{}, workloads::Websearch(),
+                            sim::Seconds(10), sim::Seconds(20));
+    EXPECT_LT(rig.RunCell(AntagonistKind::kNetwork, 0.5), 1.0);
+}
+
+TEST(Characterization, MemkeyvalKilledByNetworkAntagonist)
+{
+    CharacterizationRig rig(hw::MachineConfig{}, workloads::Memkeyval(),
+                            sim::Seconds(10), sim::Seconds(15));
+    EXPECT_LT(rig.RunCell(AntagonistKind::kNetwork, 0.25), 1.0);
+    EXPECT_GT(rig.RunCell(AntagonistKind::kNetwork, 0.5), 3.0);
+}
+
+TEST(Characterization, BaselineComfortableAtMidLoad)
+{
+    CharacterizationRig rig(hw::MachineConfig{}, workloads::Websearch(),
+                            sim::Seconds(10), sim::Seconds(20));
+    const double b = rig.RunBaseline(0.5);
+    EXPECT_GT(b, 0.3);
+    EXPECT_LT(b, 1.0);
+}
+
+}  // namespace
+}  // namespace heracles::exp

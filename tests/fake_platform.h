@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A scriptable Platform implementation for controller unit tests: every
+ * monitor reading is a settable field, every actuator call is recorded.
+ */
+#ifndef HERACLES_TESTS_FAKE_PLATFORM_H
+#define HERACLES_TESTS_FAKE_PLATFORM_H
+
+#include <algorithm>
+
+#include "platform/iface.h"
+
+namespace heracles::testing {
+
+class FakePlatform : public platform::Platform
+{
+  public:
+    // Monitor values (fields are the test's script).
+    sim::Duration tail = sim::Millis(6);
+    sim::Duration fast_tail = sim::Millis(6);
+    sim::Duration slo = sim::Millis(12);
+    double load = 0.4;
+    double lc_cpu_util = 0.4;
+    double dram_gbps = 20.0;
+    double dram_peak = 100.0;
+    double be_dram = 5.0;
+    double socket_power[2] = {80.0, 80.0};
+    double tdp = 145.0;
+    double lc_freq = 2.5;
+    double guaranteed = 2.5;
+    double lc_tx = 1.0;
+    double link_rate = 10.0;
+    double be_rate = 10.0;
+    bool has_be = true;
+
+    // Actuator state.
+    int be_cores = 0;
+    int be_ways = 0;
+    double be_freq_cap = 0.0;
+    double be_net_ceil = -1.0;
+
+    // Call counters.
+    int set_cores_calls = 0;
+    int set_ways_calls = 0;
+    int set_cap_calls = 0;
+    int set_ceil_calls = 0;
+
+    // Optional hooks applied on actuation (simulate plant response).
+    std::function<void(int)> on_set_cores;
+    std::function<void(int)> on_set_ways;
+
+    sim::EventQueue& queue() override { return queue_; }
+
+    sim::Duration LcTailLatency() override { return tail; }
+    sim::Duration LcFastTailLatency() override { return fast_tail; }
+    sim::Duration LcSlo() override { return slo; }
+    double LcLoad() override { return load; }
+    double LcCpuUtilization() override { return lc_cpu_util; }
+
+    double MeasuredDramGbps() override { return dram_gbps; }
+    double DramPeakGbps() override { return dram_peak; }
+    double BeDramEstimateGbps() override { return be_dram; }
+
+    int Sockets() override { return 2; }
+    double SocketPowerW(int s) override { return socket_power[s]; }
+    double TdpW() override { return tdp; }
+    double LcFreqGhz() override { return lc_freq; }
+    double GuaranteedLcFreqGhz() override { return guaranteed; }
+    double MinGhz() override { return 1.2; }
+    double MaxGhz() override { return 3.6; }
+    double FreqStepGhz() override { return 0.1; }
+    double BeFreqCapGhz() override { return be_freq_cap; }
+    void
+    SetBeFreqCapGhz(double ghz) override
+    {
+        be_freq_cap = ghz;
+        ++set_cap_calls;
+    }
+
+    double LcTxGbps() override { return lc_tx; }
+    double LinkRateGbps() override { return link_rate; }
+    void
+    SetBeNetCeilGbps(double gbps) override
+    {
+        be_net_ceil = gbps;
+        ++set_ceil_calls;
+    }
+
+    int TotalPhysCores() override { return 36; }
+    int BeCores() override { return be_cores; }
+    void
+    SetBeCores(int cores) override
+    {
+        be_cores = std::clamp(cores, 0, 35);
+        ++set_cores_calls;
+        if (on_set_cores) on_set_cores(be_cores);
+    }
+    int TotalLlcWays() override { return 20; }
+    int BeWays() override { return be_ways; }
+    void
+    SetBeWays(int ways) override
+    {
+        be_ways = std::clamp(ways, 0, 16);
+        ++set_ways_calls;
+        if (on_set_ways) on_set_ways(be_ways);
+    }
+
+    bool HasBeJob() override { return has_be; }
+    double BeRate() override { return be_rate; }
+
+  private:
+    sim::EventQueue queue_;
+};
+
+}  // namespace heracles::testing
+
+#endif  // HERACLES_TESTS_FAKE_PLATFORM_H

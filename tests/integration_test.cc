@@ -1,0 +1,191 @@
+/**
+ * @file
+ * End-to-end property tests: the paper's headline claims expressed as
+ * invariants over sweeps of workload x BE x load, plus the future-work
+ * extensions (hardware bandwidth accounting, centralized cluster
+ * targets).
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "exp/experiment.h"
+
+namespace heracles {
+namespace {
+
+// --------------------------------------------------------------------------
+// Property: Heracles never violates the SLO (Figure 4's headline).
+
+struct ColocationCase {
+    int lc;          // index into AllLcWorkloads()
+    const char* be;
+    double load;
+};
+
+class HeraclesNoViolation
+    : public ::testing::TestWithParam<ColocationCase>
+{
+};
+
+TEST_P(HeraclesNoViolation, SloHolds)
+{
+    const auto p = GetParam();
+    exp::ExperimentConfig cfg;
+    cfg.lc = workloads::AllLcWorkloads()[p.lc];
+    cfg.be = workloads::BeProfileByName(cfg.machine, p.be);
+    cfg.policy = exp::PolicyKind::kHeracles;
+    cfg.warmup = sim::Seconds(150);
+    cfg.measure = sim::Seconds(90);
+    exp::Experiment e(cfg);
+    const auto r = e.RunAt(p.load);
+    EXPECT_FALSE(r.slo_violated)
+        << cfg.lc.name << "+" << p.be << " @ " << p.load << ": tail "
+        << r.tail_frac_slo * 100 << "% of SLO";
+    // And colocation must actually produce useful BE work at low load.
+    if (p.load <= 0.5) {
+        EXPECT_GT(r.be_throughput, 0.05)
+            << cfg.lc.name << "+" << p.be << " @ " << p.load;
+    }
+}
+
+std::string
+CaseName(const ::testing::TestParamInfo<ColocationCase>& info)
+{
+    static const char* kLc[] = {"websearch", "ml_cluster", "memkeyval"};
+    std::string be = info.param.be;
+    for (auto& c : be) {
+        if (c == '-') c = '_';
+    }
+    return std::string(kLc[info.param.lc]) + "_" + be + "_" +
+           std::to_string(static_cast<int>(info.param.load * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeraclesNoViolation,
+    ::testing::Values(
+        ColocationCase{0, "brain", 0.3}, ColocationCase{0, "brain", 0.7},
+        ColocationCase{0, "stream-dram", 0.4},
+        ColocationCase{0, "cpu_pwr", 0.3},
+        ColocationCase{0, "streetview", 0.6},
+        ColocationCase{1, "brain", 0.4},
+        ColocationCase{1, "stream-llc", 0.5},
+        ColocationCase{1, "streetview", 0.3},
+        ColocationCase{2, "brain", 0.3},
+        ColocationCase{2, "iperf", 0.4},
+        ColocationCase{2, "stream-dram", 0.5}),
+    CaseName);
+
+// --------------------------------------------------------------------------
+// Property: EMU under Heracles dominates the no-colocation baseline.
+
+class HeraclesEmuGain : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(HeraclesEmuGain, EmuExceedsBaseline)
+{
+    const double load = GetParam();
+    exp::ExperimentConfig cfg;
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::Brain();
+    cfg.policy = exp::PolicyKind::kHeracles;
+    cfg.warmup = sim::Seconds(150);
+    cfg.measure = sim::Seconds(90);
+    exp::Experiment e(cfg);
+    const auto r = e.RunAt(load);
+    // Baseline EMU == load; Heracles must add meaningful BE throughput
+    // at every load below the disable threshold.
+    EXPECT_GT(r.emu, load + 0.10) << "load " << load;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, HeraclesEmuGain,
+                         ::testing::Values(0.2, 0.4, 0.6));
+
+// --------------------------------------------------------------------------
+// Future work: hardware DRAM bandwidth accounting (Section 7).
+
+TEST(HwBwAccounting, NoViolationWithoutOfflineModel)
+{
+    exp::ExperimentConfig cfg;
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::BeProfileByName(cfg.machine, "stream-dram");
+    cfg.policy = exp::PolicyKind::kHeracles;
+    cfg.heracles.use_hw_bw_accounting = true;
+    cfg.heracles.use_bw_model = false;  // no offline information at all
+    cfg.warmup = sim::Seconds(150);
+    cfg.measure = sim::Seconds(90);
+    exp::Experiment e(cfg);
+    const auto r = e.RunAt(0.4);
+    EXPECT_FALSE(r.slo_violated);
+    EXPECT_GT(r.be_throughput, 0.05);
+    // The DRAM limit must still be respected.
+    EXPECT_LE(r.telemetry.dram_frac, 0.95);
+}
+
+TEST(HwBwAccounting, MatchesModelBasedEmu)
+{
+    exp::ExperimentConfig cfg;
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::BeProfileByName(cfg.machine, "streetview");
+    cfg.policy = exp::PolicyKind::kHeracles;
+    cfg.warmup = sim::Seconds(150);
+    cfg.measure = sim::Seconds(90);
+    exp::Experiment model_based(cfg);
+    cfg.heracles.use_hw_bw_accounting = true;
+    exp::Experiment hw_based(cfg);
+    const double emu_model = model_based.RunAt(0.4).emu;
+    const double emu_hw = hw_based.RunAt(0.4).emu;
+    // Hardware accounting should do at least as well as the offline
+    // model (it has strictly better information), within noise.
+    EXPECT_GE(emu_hw, emu_model - 0.12);
+}
+
+// --------------------------------------------------------------------------
+// Future work: centralized cluster controller (Section 5.3).
+
+TEST(CentralController, RaisesEmuWithoutRootViolation)
+{
+    cluster::ClusterConfig cfg;
+    cfg.leaves = 3;
+    cfg.duration = sim::Minutes(8);
+    cfg.seed = 11;
+
+    cluster::ClusterExperiment uniform(cfg);
+    const auto r_uniform = uniform.Run();
+
+    cfg.central_controller = true;
+    cluster::ClusterExperiment central(cfg);
+    const auto r_central = central.Run();
+
+    EXPECT_FALSE(r_central.slo_violated)
+        << "worst " << r_central.worst_latency_frac;
+    // Dynamic per-leaf targets harvest root slack into extra BE work.
+    EXPECT_GE(r_central.avg_emu, r_uniform.avg_emu - 0.02);
+}
+
+// --------------------------------------------------------------------------
+// Safety net: the high-load safeguard across all workloads.
+
+class HighLoadSafeguard : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HighLoadSafeguard, BeDisabledAboveThreshold)
+{
+    exp::ExperimentConfig cfg;
+    cfg.lc = workloads::AllLcWorkloads()[GetParam()];
+    cfg.be = workloads::Brain();
+    cfg.policy = exp::PolicyKind::kHeracles;
+    cfg.warmup = sim::Seconds(60);
+    cfg.measure = sim::Seconds(60);
+    exp::Experiment e(cfg);
+    const auto r = e.RunAt(0.93);
+    EXPECT_EQ(r.be_cores, 0);
+    EXPECT_LT(r.be_throughput, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, HighLoadSafeguard,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace heracles

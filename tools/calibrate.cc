@@ -1,0 +1,28 @@
+// Calibration utility: baseline (no colocation) tail latency across loads
+// for the three LC workloads. Used to tune peak_qps so that 100% load
+// approaches but meets the SLO, matching the paper's baseline curves.
+#include <cstdio>
+#include "exp/experiment.h"
+using namespace heracles;
+int main() {
+    for (const auto& lc : workloads::AllLcWorkloads()) {
+        exp::ExperimentConfig cfg;
+        cfg.lc = lc;
+        cfg.policy = exp::PolicyKind::kNoColocation;
+        cfg.warmup = sim::Seconds(30);
+        cfg.measure = sim::Seconds(60);
+        exp::Experiment e(cfg);
+        std::printf("%s (SLO %.2fms @p%.0f):\n", lc.name.c_str(),
+                    sim::ToMillis(lc.slo_latency), lc.slo_percentile * 100);
+        for (double load : {0.05, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+            auto r = e.RunAt(load);
+            std::printf("  load %3.0f%%: p-tail %8.3fms  (%5.1f%% of SLO)  served %4.0f%%  cpu %4.0f%%  dram %4.0f%%  pw %4.0f%%\n",
+                        load * 100, sim::ToMillis(r.worst_tail),
+                        r.tail_frac_slo * 100, r.lc_throughput * 100,
+                        r.telemetry.cpu_utilization * 100,
+                        r.telemetry.dram_frac * 100,
+                        r.telemetry.power_frac_tdp * 100);
+        }
+    }
+    return 0;
+}

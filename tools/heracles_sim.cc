@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Command-line runner: colocate any LC workload with any BE job under
+ * any policy at any load, and print the outcome.
+ *
+ * Usage:
+ *   heracles_sim [--lc websearch|ml_cluster|memkeyval]
+ *                [--be brain|streetview|stream-dram|stream-llc|
+ *                      stream-llc-small|stream-llc-big|cpu_pwr|iperf|
+ *                      spinloop|none]
+ *                [--policy heracles|baseline|os-only|static]
+ *                [--load 0.5] [--warmup-s 150] [--measure-s 120]
+ *                [--seed 1]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+
+using namespace heracles;
+
+namespace {
+
+[[noreturn]] void
+Usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--lc NAME] [--be NAME|none] "
+                 "[--policy NAME] [--load F] [--warmup-s S] "
+                 "[--measure-s S] [--seed N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+exp::PolicyKind
+ParsePolicy(const std::string& name)
+{
+    if (name == "heracles") return exp::PolicyKind::kHeracles;
+    if (name == "baseline") return exp::PolicyKind::kNoColocation;
+    if (name == "os-only") return exp::PolicyKind::kOsOnly;
+    if (name == "static") return exp::PolicyKind::kStaticPartition;
+    std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+    std::exit(2);
+}
+
+workloads::LcParams
+ParseLc(const std::string& name)
+{
+    for (const auto& p : workloads::AllLcWorkloads()) {
+        if (p.name == name) return p;
+    }
+    std::fprintf(stderr, "unknown LC workload: %s\n", name.c_str());
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string lc_name = "websearch";
+    std::string be_name = "brain";
+    std::string policy_name = "heracles";
+    double load = 0.5;
+    double warmup_s = 150.0, measure_s = 120.0;
+    uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) Usage(argv[0]);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--lc")) {
+            lc_name = next();
+        } else if (!std::strcmp(argv[i], "--be")) {
+            be_name = next();
+        } else if (!std::strcmp(argv[i], "--policy")) {
+            policy_name = next();
+        } else if (!std::strcmp(argv[i], "--load")) {
+            load = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--warmup-s")) {
+            warmup_s = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--measure-s")) {
+            measure_s = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else {
+            Usage(argv[0]);
+        }
+    }
+    if (load <= 0.0 || load > 1.0) Usage(argv[0]);
+
+    exp::ExperimentConfig cfg;
+    cfg.lc = ParseLc(lc_name);
+    if (be_name != "none") {
+        cfg.be = workloads::BeProfileByName(cfg.machine, be_name);
+    }
+    cfg.policy = ParsePolicy(policy_name);
+    cfg.warmup = sim::Seconds(warmup_s);
+    cfg.measure = sim::Seconds(measure_s);
+    cfg.seed = seed;
+
+    exp::Experiment experiment(cfg);
+    const auto r = experiment.RunAt(load);
+
+    std::printf("%s + %s under %s at %.0f%% load:\n", lc_name.c_str(),
+                be_name.c_str(), policy_name.c_str(), load * 100);
+    std::printf("  worst %2.0f%%-ile tail : %s  (%.1f%% of the %s SLO)%s\n",
+                cfg.lc.slo_percentile * 100,
+                sim::FormatDuration(r.worst_tail).c_str(),
+                r.tail_frac_slo * 100,
+                sim::FormatDuration(cfg.lc.slo_latency).c_str(),
+                r.slo_violated ? "  ** SLO VIOLATED **" : "");
+    std::printf("  EMU                 : %.1f%%  (LC %.1f%% + BE %.1f%%)\n",
+                r.emu * 100, r.lc_throughput * 100,
+                r.be_throughput * 100);
+    std::printf("  DRAM bandwidth      : %.1f%% of peak\n",
+                r.telemetry.dram_frac * 100);
+    std::printf("  CPU utilization     : %.1f%%\n",
+                r.telemetry.cpu_utilization * 100);
+    std::printf("  CPU power           : %.1f%% of TDP\n",
+                r.telemetry.power_frac_tdp * 100);
+    std::printf("  network             : LC %.2f Gb/s, BE %.2f Gb/s\n",
+                r.telemetry.lc_tx_gbps, r.telemetry.be_tx_gbps);
+    if (cfg.policy == exp::PolicyKind::kHeracles) {
+        std::printf("  final BE allocation : %d cores, %d LLC ways, "
+                    "DVFS cap %.1f GHz, slack %.2f\n",
+                    r.be_cores, r.be_ways, r.be_freq_cap_ghz, r.slack);
+    }
+    return r.slo_violated ? 1 : 0;
+}
