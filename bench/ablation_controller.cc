@@ -12,13 +12,14 @@
 #include "bench_common.h"
 #include "exp/experiment.h"
 #include "exp/reporting.h"
+#include "runner/sweep.h"
 
 using namespace heracles;
 
 namespace {
 
-exp::LoadPointResult
-Run(const ctl::HeraclesConfig& hcfg)
+runner::SweepJob
+Job(const std::string& label, const ctl::HeraclesConfig& hcfg)
 {
     const hw::MachineConfig machine;
     exp::ExperimentConfig cfg;
@@ -29,7 +30,7 @@ Run(const ctl::HeraclesConfig& hcfg)
     cfg.heracles = hcfg;
     cfg.warmup = bench::Scaled(sim::Seconds(180), sim::Seconds(90));
     cfg.measure = bench::Scaled(sim::Seconds(150), sim::Seconds(60));
-    return exp::Experiment(cfg).RunAt(0.5);
+    return runner::SweepJob{cfg, 0.5, label};
 }
 
 void
@@ -44,54 +45,59 @@ AddRow(exp::Table& t, const std::string& label,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     exp::PrintBanner(
         "Ablation A2: controller parameters (websearch+brain @ 50%)");
 
     exp::Table table(
         {"variant", "tail (% SLO)", "SLO ok", "EMU", "BE cores"});
 
-    AddRow(table, "defaults (paper constants)", Run({}));
-    std::fflush(stdout);
-
+    // The variants are independent runs; fan them across the pool.
+    std::vector<runner::SweepJob> sweep;
+    sweep.push_back(Job("defaults (paper constants)", {}));
     for (double limit : {0.70, 0.80, 0.95}) {
         ctl::HeraclesConfig c;
         c.dram_limit_frac = limit;
-        AddRow(table,
-               "DRAM limit " + exp::FormatPct(limit) + " (default 90%)",
-               Run(c));
-        std::fflush(stdout);
+        sweep.push_back(Job(
+            "DRAM limit " + exp::FormatPct(limit) + " (default 90%)", c));
     }
     {
         ctl::HeraclesConfig c;
         c.slack_disallow_growth = 0.20;
         c.slack_shrink = 0.10;
-        AddRow(table, "conservative slack thresholds (20%/10%)", Run(c));
+        sweep.push_back(
+            Job("conservative slack thresholds (20%/10%)", c));
     }
     {
         ctl::HeraclesConfig c;
         c.top_period = sim::Seconds(30);
-        AddRow(table, "slow top-level poll (30s)", Run(c));
+        sweep.push_back(Job("slow top-level poll (30s)", c));
     }
     {
         ctl::HeraclesConfig c;
         c.use_fast_slack = false;
         c.fast_shrink = false;
-        AddRow(table, "no fast-slack stabilizer (pure 15s slack)", Run(c));
+        sweep.push_back(
+            Job("no fast-slack stabilizer (pure 15s slack)", c));
     }
     {
         ctl::HeraclesConfig c;
         c.fast_growth_margin = 0.10;
-        AddRow(table, "narrow growth hysteresis (10%)", Run(c));
+        sweep.push_back(Job("narrow growth hysteresis (10%)", c));
     }
     {
         ctl::HeraclesConfig c;
         c.use_hw_bw_accounting = true;
         c.use_bw_model = false;
-        AddRow(table,
-               "hw per-task bw accounting, no offline model (Sec. 7)",
-               Run(c));
+        sweep.push_back(Job(
+            "hw per-task bw accounting, no offline model (Sec. 7)", c));
+    }
+
+    const auto results = runner::RunSweep(sweep, jobs);
+    for (size_t i = 0; i < results.size(); ++i) {
+        AddRow(table, sweep[i].tag, results[i]);
     }
     table.Print();
     std::printf(

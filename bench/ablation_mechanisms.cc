@@ -13,13 +13,14 @@
 #include "bench_common.h"
 #include "exp/experiment.h"
 #include "exp/reporting.h"
+#include "runner/sweep.h"
 
 using namespace heracles;
 
 namespace {
 
-exp::LoadPointResult
-Run(const workloads::LcParams& lc, const std::string& be_name,
+runner::SweepJob
+Job(const workloads::LcParams& lc, const std::string& be_name,
     const ctl::HeraclesConfig& hcfg, double load)
 {
     // (load chosen per case: the resource must actually be contended)
@@ -32,14 +33,15 @@ Run(const workloads::LcParams& lc, const std::string& be_name,
     cfg.heracles = hcfg;
     cfg.warmup = bench::Scaled(sim::Seconds(180), sim::Seconds(90));
     cfg.measure = bench::Scaled(sim::Seconds(150), sim::Seconds(60));
-    return exp::Experiment(cfg).RunAt(load);
+    return runner::SweepJob{cfg, load, ""};
 }
 
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     exp::PrintBanner("Ablation A1: one isolation mechanism disabled");
 
     struct Case {
@@ -82,11 +84,23 @@ main()
 
     exp::Table table({"configuration", "variant", "tail (% SLO)", "SLO ok",
                       "EMU", "BE disables"});
+
+    // Full-controller and ablated runs for every case are independent
+    // simulations: fan all of them across the pool at once.
+    std::vector<runner::SweepJob> sweep;
     for (const auto& c : cases) {
         for (bool ablated : {false, true}) {
             ctl::HeraclesConfig hcfg;
             if (ablated) c.mutate(hcfg);
-            const auto r = Run(c.lc, c.be, hcfg, c.load);
+            sweep.push_back(Job(c.lc, c.be, hcfg, c.load));
+        }
+    }
+    const auto results = runner::RunSweep(sweep, jobs);
+
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const auto& c = cases[i];
+        for (bool ablated : {false, true}) {
+            const auto& r = results[2 * i + (ablated ? 1 : 0)];
             table.AddRow({ablated ? c.label : std::string(c.label) +
                                                   " (full ctl)",
                           ablated ? "ablated" : "full",
@@ -94,7 +108,6 @@ main()
                           r.slo_violated ? "VIOLATED" : "yes",
                           exp::FormatPct(r.emu),
                           std::to_string(r.be_disables)});
-            std::fflush(stdout);
         }
     }
     table.Print();

@@ -4,13 +4,20 @@
  *
  * Set HERACLES_BENCH_FAST=1 to shorten warmup/measurement phases (~3x
  * faster, slightly noisier tails) during development.
+ *
+ * Every bench accepts --jobs N (default: hardware concurrency, or the
+ * HERACLES_JOBS environment variable) to fan its independent simulations
+ * across a runner::Pool. Results are bit-identical for every N.
  */
 #ifndef HERACLES_BENCH_BENCH_COMMON_H
 #define HERACLES_BENCH_BENCH_COMMON_H
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "runner/pool.h"
 #include "sim/time.h"
 
 namespace heracles::bench {
@@ -27,6 +34,33 @@ inline sim::Duration
 Scaled(sim::Duration full, sim::Duration fast)
 {
     return FastMode() ? fast : full;
+}
+
+/**
+ * Parses --jobs N (or --jobs=N) from the command line; every other
+ * argument is ignored so benches with their own flags can share it.
+ * Exits with a usage message on a malformed value.
+ */
+inline int
+ParseJobs(int argc, char** argv)
+{
+    int jobs = runner::DefaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const char* val = nullptr;
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            val = argv[++i];
+        } else if (!std::strncmp(argv[i], "--jobs=", 7)) {
+            val = argv[i] + 7;
+        }
+        if (val != nullptr) {
+            jobs = std::atoi(val);
+            if (jobs <= 0) {
+                std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+                std::exit(2);
+            }
+        }
+    }
+    return jobs;
 }
 
 }  // namespace heracles::bench

@@ -20,8 +20,9 @@
 using namespace heracles;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     const hw::MachineConfig machine;
     const auto loads = exp::CharacterizationRig::PaperLoads();
     const sim::Duration warmup =
@@ -45,20 +46,21 @@ main()
         }
         exp::Table table(headers);
 
-        for (exp::AntagonistKind kind : exp::AllAntagonists()) {
-            std::vector<std::string> row = {exp::AntagonistName(kind)};
-            for (double load : loads) {
-                row.push_back(
-                    exp::FormatTailFrac(rig.RunCell(kind, load)));
+        const auto kinds = exp::AllAntagonists();
+        const auto grid = rig.RunGrid(kinds, loads, jobs);
+        for (size_t k = 0; k < kinds.size(); ++k) {
+            std::vector<std::string> row = {
+                exp::AntagonistName(kinds[k])};
+            for (double cell : grid[k]) {
+                row.push_back(exp::FormatTailFrac(cell));
             }
             table.AddRow(std::move(row));
-            std::fflush(stdout);
         }
         // Baseline row for reference (not in the paper's figure, but
         // needed to judge the interference deltas).
         std::vector<std::string> base = {"(baseline)"};
-        for (double load : loads) {
-            base.push_back(exp::FormatTailFrac(rig.RunBaseline(load)));
+        for (double cell : rig.RunBaselineRow(loads, jobs)) {
+            base.push_back(exp::FormatTailFrac(cell));
         }
         table.AddRow(std::move(base));
         table.Print();

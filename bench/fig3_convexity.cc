@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "exp/reporting.h"
 #include "hw/machine.h"
+#include "runner/pool.h"
 #include "workloads/lc_app.h"
 #include "workloads/lc_configs.h"
 
@@ -63,8 +64,9 @@ MaxLoad(const hw::MachineConfig& cfg, const workloads::LcParams& lc,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     const hw::MachineConfig cfg;
     const workloads::LcParams lc = workloads::Websearch();
 
@@ -79,17 +81,26 @@ main()
     for (double lf : llc_fracs) headers.push_back(exp::FormatPct(lf));
     exp::Table table(headers);
 
-    for (double cf : core_fracs) {
-        const int cores =
-            std::max(1, static_cast<int>(cf * cfg.TotalCores() + 0.5));
-        std::vector<std::string> row = {exp::FormatPct(cf)};
-        for (double lf : llc_fracs) {
-            const int ways =
-                std::max(1, static_cast<int>(lf * cfg.llc_ways + 0.5));
-            row.push_back(exp::FormatPct(MaxLoad(cfg, lc, cores, ways)));
+    // Every (cores, ways) cell runs its own binary search over fresh
+    // simulations; flatten the grid across the runner pool.
+    const size_t cols = llc_fracs.size();
+    const auto cells = runner::ParallelMap(
+        jobs, core_fracs.size() * cols, [&](size_t i) {
+            const int cores = std::max(
+                1, static_cast<int>(core_fracs[i / cols] *
+                                        cfg.TotalCores() + 0.5));
+            const int ways = std::max(
+                1,
+                static_cast<int>(llc_fracs[i % cols] * cfg.llc_ways + 0.5));
+            return MaxLoad(cfg, lc, cores, ways);
+        });
+
+    for (size_t r = 0; r < core_fracs.size(); ++r) {
+        std::vector<std::string> row = {exp::FormatPct(core_fracs[r])};
+        for (size_t c = 0; c < cols; ++c) {
+            row.push_back(exp::FormatPct(cells[r * cols + c]));
         }
         table.AddRow(std::move(row));
-        std::fflush(stdout);
     }
     table.Print();
     std::printf(

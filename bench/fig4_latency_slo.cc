@@ -9,18 +9,23 @@
  * slack reduced relative to the no-colocation baseline. As in the paper,
  * websearch and ml_cluster with iperf are omitted (they are insensitive
  * to network interference).
+ *
+ * Every (row, load) cell is an independent simulation; the whole figure
+ * is flattened into one runner sweep (--jobs N threads).
  */
 #include <cstdio>
 
 #include "bench_common.h"
 #include "exp/experiment.h"
 #include "exp/reporting.h"
+#include "runner/sweep.h"
 
 using namespace heracles;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     const hw::MachineConfig machine;
     const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5,
                                        0.6, 0.7, 0.8, 0.9};
@@ -38,7 +43,8 @@ main()
         for (double l : loads) headers.push_back(exp::FormatPct(l));
         exp::Table table(headers);
 
-        // Baseline: LC alone.
+        // Baseline (LC alone) plus one row per colocated BE job.
+        std::vector<runner::SweepJob> sweep;
         {
             exp::ExperimentConfig cfg;
             cfg.machine = machine;
@@ -46,19 +52,11 @@ main()
             cfg.policy = exp::PolicyKind::kNoColocation;
             cfg.warmup = warmup;
             cfg.measure = measure;
-            exp::Experiment e(cfg);
-            std::vector<std::string> row = {"baseline"};
-            for (double l : loads) {
-                row.push_back(exp::FormatTailFrac(e.RunAt(l).tail_frac_slo));
-            }
-            table.AddRow(std::move(row));
-            std::fflush(stdout);
+            runner::AppendLoadJobs(sweep, cfg, loads, "baseline");
         }
-
         for (const auto& be : workloads::EvaluationBeSet(machine)) {
             // The paper omits these network-insensitive combinations.
             if (be.name == "iperf" && lc.name != "memkeyval") continue;
-
             exp::ExperimentConfig cfg;
             cfg.machine = machine;
             cfg.lc = lc;
@@ -66,16 +64,21 @@ main()
             cfg.policy = exp::PolicyKind::kHeracles;
             cfg.warmup = warmup;
             cfg.measure = measure;
-            exp::Experiment e(cfg);
+            runner::AppendLoadJobs(sweep, cfg, loads, be.name);
+        }
 
-            std::vector<std::string> row = {be.name};
-            for (double l : loads) {
-                const auto r = e.RunAt(l);
-                if (r.slo_violated) ++violations;
+        const auto results = runner::RunSweep(sweep, jobs);
+
+        for (size_t i = 0; i < results.size(); i += loads.size()) {
+            std::vector<std::string> row = {sweep[i].tag};
+            for (size_t j = 0; j < loads.size(); ++j) {
+                const auto& r = results[i + j];
+                if (sweep[i].tag != "baseline" && r.slo_violated) {
+                    ++violations;
+                }
                 row.push_back(exp::FormatTailFrac(r.tail_frac_slo));
             }
             table.AddRow(std::move(row));
-            std::fflush(stdout);
         }
         table.Print();
         std::fflush(stdout);

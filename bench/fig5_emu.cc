@@ -12,12 +12,14 @@
 #include "bench_common.h"
 #include "exp/experiment.h"
 #include "exp/reporting.h"
+#include "runner/sweep.h"
 
 using namespace heracles;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     const hw::MachineConfig machine;
     const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5,
                                        0.6, 0.7, 0.8, 0.9};
@@ -39,8 +41,9 @@ main()
         table.AddRow(std::move(row));
     }
 
-    double total_emu = 0.0;
-    int points = 0;
+    // All (colocation, load) cells are independent: flatten them into
+    // one runner sweep.
+    std::vector<runner::SweepJob> sweep;
     for (const auto& lc : workloads::AllLcWorkloads()) {
         for (const std::string be_name : {"brain", "streetview"}) {
             exp::ExperimentConfig cfg;
@@ -50,18 +53,22 @@ main()
             cfg.policy = exp::PolicyKind::kHeracles;
             cfg.warmup = warmup;
             cfg.measure = measure;
-            exp::Experiment e(cfg);
-
-            std::vector<std::string> row = {lc.name + "+" + be_name};
-            for (double l : loads) {
-                const auto r = e.RunAt(l);
-                row.push_back(exp::FormatPct(r.emu));
-                total_emu += r.emu;
-                ++points;
-            }
-            table.AddRow(std::move(row));
-            std::fflush(stdout);
+            runner::AppendLoadJobs(sweep, cfg, loads,
+                                   lc.name + "+" + be_name);
         }
+    }
+    const auto results = runner::RunSweep(sweep, jobs);
+
+    double total_emu = 0.0;
+    int points = 0;
+    for (size_t i = 0; i < results.size(); i += loads.size()) {
+        std::vector<std::string> row = {sweep[i].tag};
+        for (size_t j = 0; j < loads.size(); ++j) {
+            row.push_back(exp::FormatPct(results[i + j].emu));
+            total_emu += results[i + j].emu;
+            ++points;
+        }
+        table.AddRow(std::move(row));
     }
     table.Print();
     std::printf("\nAverage EMU across colocations and loads: %s\n",

@@ -19,8 +19,9 @@
 using namespace heracles;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     const hw::MachineConfig machine;
     const std::vector<double> loads =
         bench::FastMode() ? std::vector<double>{0.25, 0.55, 0.8}
@@ -62,7 +63,7 @@ main()
             cfg.warmup = warmup;
             cfg.measure = measure;
             exp::Experiment e(cfg);
-            add_rows("baseline", e.Sweep(loads));
+            add_rows("baseline", e.Sweep(loads, jobs));
             std::fflush(stdout);
         }
 
@@ -76,7 +77,7 @@ main()
             cfg.warmup = warmup;
             cfg.measure = measure;
             exp::Experiment e(cfg);
-            add_rows(be.name, e.Sweep(loads));
+            add_rows(be.name, e.Sweep(loads, jobs));
             std::fflush(stdout);
         }
         table.Print();

@@ -16,8 +16,9 @@
 using namespace heracles;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int jobs = bench::ParseJobs(argc, argv);
     const hw::MachineConfig machine;
     const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5,
                                        0.6, 0.7, 0.8, 0.9};
@@ -43,8 +44,7 @@ main()
         cfg.warmup = warmup;
         cfg.measure = measure;
         exp::Experiment e(cfg);
-        for (double l : loads) {
-            const auto r = e.RunAt(l);
+        for (const auto& r : e.Sweep(loads, jobs)) {
             base_lc.push_back(exp::FormatPct(r.telemetry.lc_tx_gbps /
                                              machine.nic_gbps));
         }
@@ -65,8 +65,7 @@ main()
         cfg.warmup = warmup;
         cfg.measure = measure;
         exp::Experiment e(cfg);
-        for (double l : loads) {
-            const auto r = e.RunAt(l);
+        for (const auto& r : e.Sweep(loads, jobs)) {
             lc_tx.push_back(exp::FormatPct(r.telemetry.lc_tx_gbps /
                                            machine.nic_gbps));
             be_tx.push_back(exp::FormatPct(r.telemetry.be_tx_gbps /

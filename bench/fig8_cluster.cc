@@ -40,9 +40,10 @@ PrintSeries(const cluster::ClusterResult& r, const std::string& label)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     cluster::ClusterConfig cfg;
+    cfg.jobs = bench::ParseJobs(argc, argv);
     cfg.leaves = bench::FastMode() ? 8 : 12;
     cfg.duration = bench::Scaled(sim::Minutes(25), sim::Minutes(10));
 

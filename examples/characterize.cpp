@@ -12,6 +12,7 @@
 
 #include "exp/characterization.h"
 #include "exp/reporting.h"
+#include "runner/pool.h"
 
 using namespace heracles;
 
@@ -20,6 +21,7 @@ main()
 {
     const hw::MachineConfig machine;
     const std::vector<double> loads = {0.2, 0.5, 0.8};
+    const int jobs = runner::DefaultJobs();
 
     exp::CharacterizationRig rig(machine, workloads::MlCluster(),
                                  sim::Seconds(20), sim::Seconds(40));
@@ -37,14 +39,14 @@ main()
           exp::AntagonistKind::kCpuPower, exp::AntagonistKind::kNetwork,
           exp::AntagonistKind::kBrainOsOnly}) {
         std::vector<std::string> row = {exp::AntagonistName(kind)};
-        for (double load : loads) {
-            row.push_back(exp::FormatTailFrac(rig.RunCell(kind, load)));
+        for (double cell : rig.RunRow(kind, loads, jobs)) {
+            row.push_back(exp::FormatTailFrac(cell));
         }
         table.AddRow(std::move(row));
     }
     std::vector<std::string> base = {"(baseline)"};
-    for (double load : loads) {
-        base.push_back(exp::FormatTailFrac(rig.RunBaseline(load)));
+    for (double cell : rig.RunBaselineRow(loads, jobs)) {
+        base.push_back(exp::FormatTailFrac(cell));
     }
     table.AddRow(std::move(base));
     table.Print();

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exp/server_sim.h"
 #include "heracles/controller.h"
 #include "hw/machine.h"
 #include "platform/sim_platform.h"
+#include "runner/pool.h"
 #include "workloads/antagonists.h"
 #include "workloads/be_task.h"
 #include "workloads/lc_app.h"
@@ -21,68 +23,71 @@ class ClusterSim
                bool colocate, sim::Duration target)
         : cfg_(cfg), trace_(trace), target_(target), rng_(cfg.seed)
     {
-        const double brain_alone =
-            workloads::MeasureAloneRate(cfg.machine, workloads::Brain());
-        const double sv_alone = workloads::MeasureAloneRate(
-            cfg.machine, workloads::Streetview());
+        // The alone-rate baselines and per-leaf bandwidth-model profiles
+        // are independent standalone simulations / analytic evaluations;
+        // fan them across the runner pool before assembling the leaves
+        // on the shared queue.
+        double brain_alone = 1.0, sv_alone = 1.0;
+        std::vector<ctl::LcBwModel> models(
+            colocate ? static_cast<size_t>(cfg_.leaves) : 0);
+        runner::ParallelFor(cfg_.jobs, 2 + models.size(), [&](size_t i) {
+            if (i == 0) {
+                brain_alone = workloads::MeasureAloneRate(
+                    cfg_.machine, workloads::Brain());
+            } else if (i == 1) {
+                sv_alone = workloads::MeasureAloneRate(
+                    cfg_.machine, workloads::Streetview());
+            } else {
+                hw::MachineConfig mcfg = cfg_.machine;
+                mcfg.seed = cfg_.seed * 131ull + (i - 2);
+                models[i - 2] = ctl::LcBwModel::Profile(cfg_.lc, mcfg);
+            }
+        });
 
         for (int i = 0; i < cfg_.leaves; ++i) {
-            hw::MachineConfig mcfg = cfg_.machine;
-            mcfg.seed = cfg_.seed * 131ull + i;
-            auto machine = std::make_unique<hw::Machine>(mcfg, queue_);
-            auto lc = std::make_unique<workloads::LcApp>(
-                *machine, cfg_.lc, mcfg.seed ^ 0x11);
-
-            std::unique_ptr<workloads::BeTask> be;
+            exp::ServerSpec spec;
+            spec.machine = cfg_.machine;
+            spec.machine.seed = cfg_.seed * 131ull + i;
+            spec.lc = cfg_.lc;
+            spec.lc_seed = spec.machine.seed ^ 0x11;
+            spec.heracles = cfg_.heracles;
             double alone = 1.0;
             if (colocate) {
                 // brain on half the leaves, streetview on the other half.
-                const bool even = i % 2 == 0;
-                be = std::make_unique<workloads::BeTask>(
-                    *machine,
-                    even ? workloads::Brain() : workloads::Streetview());
-                alone = even ? brain_alone : sv_alone;
-            }
-
-            auto plat = std::make_unique<platform::SimPlatform>(
-                *machine, *lc, be.get());
-            plat->ApplyInitialPlacement();
-
-            std::unique_ptr<ctl::HeraclesController> controller;
-            if (colocate) {
                 // All leaves share one offline bandwidth model, even
                 // though each serves a different shard (Section 5.2
                 // shows Heracles tolerates this).
-                controller = std::make_unique<ctl::HeraclesController>(
-                    *plat, cfg_.heracles,
-                    ctl::LcBwModel::Profile(cfg_.lc, mcfg));
-                controller->Start();
+                const bool even = i % 2 == 0;
+                spec.be = even ? workloads::Brain()
+                               : workloads::Streetview();
+                alone = even ? brain_alone : sv_alone;
+                spec.policy = exp::PolicyKind::kHeracles;
+                spec.bw_model = &models[i];
+            } else {
+                spec.policy = exp::PolicyKind::kNoColocation;
             }
 
+            auto server = std::make_unique<exp::ServerSim>(spec, queue_);
+
             const int idx = static_cast<int>(leaves_.size());
-            lc->SetLoad(0.0);  // rate bookkeeping only; driven externally
-            lc->StartExternal();
-            lc->SetCompletionCallback(
+            workloads::LcApp& lc = server->lc();
+            lc.SetLoad(0.0);  // rate bookkeeping only; driven externally
+            lc.StartExternal();
+            lc.SetCompletionCallback(
                 [this, idx](uint64_t tag, sim::Duration latency) {
                     OnLeafReply(idx, tag, latency);
                 });
 
             Leaf leaf;
-            leaf.machine = std::move(machine);
-            leaf.lc = std::move(lc);
-            leaf.be = std::move(be);
+            leaf.server = std::move(server);
             leaf.be_alone = alone;
-            leaf.plat = std::move(plat);
-            leaf.controller = std::move(controller);
             leaves_.push_back(std::move(leaf));
         }
     }
 
     ~ClusterSim()
     {
-        for (auto& leaf : leaves_) {
-            if (leaf.controller) leaf.controller->Stop();
-        }
+        for (auto& leaf : leaves_) leaf.server->StopController();
     }
 
     /** Runs the trace; per-window results land in the series. */
@@ -113,7 +118,7 @@ class ClusterSim
             1.0 + cfg_.central_gain * root_slack, 1.0,
             cfg_.central_max_boost);
         for (auto& leaf : leaves_) {
-            leaf.lc->SetSloLatency(
+            leaf.lc().SetSloLatency(
                 static_cast<sim::Duration>(base * boost));
         }
     }
@@ -126,7 +131,7 @@ class ClusterSim
     {
         double sum = 0.0;
         for (const auto& leaf : leaves_) {
-            sum += static_cast<double>(leaf.lc->WorstReportTail());
+            sum += static_cast<double>(leaf.lc().WorstReportTail());
         }
         return static_cast<sim::Duration>(sum / leaves_.size());
     }
@@ -137,12 +142,11 @@ class ClusterSim
 
   private:
     struct Leaf {
-        std::unique_ptr<hw::Machine> machine;
-        std::unique_ptr<workloads::LcApp> lc;
-        std::unique_ptr<workloads::BeTask> be;
+        std::unique_ptr<exp::ServerSim> server;
         double be_alone = 1.0;
-        std::unique_ptr<platform::SimPlatform> plat;
-        std::unique_ptr<ctl::HeraclesController> controller;
+
+        workloads::LcApp& lc() const { return server->lc(); }
+        workloads::BeTask* be() const { return server->be(); }
     };
 
     struct Query {
@@ -168,7 +172,7 @@ class ClusterSim
     {
         const uint64_t tag = next_tag_++;
         pending_[tag] = Query{static_cast<int>(leaves_.size()), 0};
-        for (auto& leaf : leaves_) leaf.lc->InjectRequest(tag);
+        for (auto& leaf : leaves_) leaf.lc().InjectRequest(tag);
     }
 
     void
@@ -202,9 +206,9 @@ class ClusterSim
 
             double emu = 0.0;
             for (auto& leaf : leaves_) {
-                double e = leaf.lc->ServedFraction();
-                if (leaf.be) {
-                    e += leaf.be->CurrentRate() / leaf.be_alone;
+                double e = leaf.lc().ServedFraction();
+                if (leaf.be()) {
+                    e += leaf.be()->CurrentRate() / leaf.be_alone;
                 }
                 emu += e;
             }

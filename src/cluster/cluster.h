@@ -61,6 +61,14 @@ struct ClusterConfig {
     double central_max_boost = 1.6;
 
     uint64_t seed = 42;
+
+    /**
+     * Worker threads for the embarrassingly-parallel assembly work
+     * (BE alone-rate baselines, per-leaf bandwidth-model profiling).
+     * The coupled root/leaf simulation itself is single-threaded and its
+     * results do not depend on this value.
+     */
+    int jobs = 1;
 };
 
 /** Results of a cluster run. */

@@ -59,6 +59,28 @@ class CharacterizationRig
     /** Baseline (no antagonist) tail fraction at @p load. */
     double RunBaseline(double load) const;
 
+    /**
+     * Runs one row (all @p loads for @p kind), fanning the independent
+     * cells across @p jobs threads. Identical to calling RunCell per
+     * load; cell seeds depend only on (kind, load).
+     */
+    std::vector<double> RunRow(AntagonistKind kind,
+                               const std::vector<double>& loads,
+                               int jobs = 1) const;
+
+    /** Baseline row over @p loads, parallel like RunRow. */
+    std::vector<double> RunBaselineRow(const std::vector<double>& loads,
+                                       int jobs = 1) const;
+
+    /**
+     * Runs the whole matrix: one row per antagonist in @p kinds over
+     * @p loads, all cells flattened across @p jobs threads. Returned in
+     * row-major (kinds) order, bit-identical to the serial path.
+     */
+    std::vector<std::vector<double>> RunGrid(
+        const std::vector<AntagonistKind>& kinds,
+        const std::vector<double>& loads, int jobs = 1) const;
+
     /** The paper's load grid: 5%, 10%, ..., 95%. */
     static std::vector<double> PaperLoads();
 

@@ -2,19 +2,9 @@
 
 #include <cmath>
 
-namespace heracles::exp {
+#include "runner/pool.h"
 
-std::string
-PolicyName(PolicyKind kind)
-{
-    switch (kind) {
-      case PolicyKind::kNoColocation: return "baseline";
-      case PolicyKind::kHeracles: return "heracles";
-      case PolicyKind::kOsOnly: return "os-only";
-      case PolicyKind::kStaticPartition: return "static";
-    }
-    return "?";
-}
+namespace heracles::exp {
 
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg))
 {
@@ -37,71 +27,31 @@ LoadPointResult
 Experiment::RunAt(double load) const
 {
     sim::EventQueue queue;
-    hw::MachineConfig mcfg = cfg_.machine;
-    mcfg.seed = cfg_.seed * 1000003ull +
-                static_cast<uint64_t>(std::lround(load * 1000));
 
-    hw::Machine machine(mcfg, queue);
-    if (cfg_.policy == PolicyKind::kOsOnly) {
-        machine.AllowCpuSharing(true);
-    }
+    ServerSpec spec;
+    spec.machine = cfg_.machine;
+    spec.machine.seed = cfg_.seed * 1000003ull +
+                        static_cast<uint64_t>(std::lround(load * 1000));
+    spec.lc = cfg_.lc;
+    spec.lc_seed = spec.machine.seed ^ 0x5C5C5C;
+    spec.be = cfg_.be;
+    spec.policy = cfg_.policy;
+    spec.heracles = cfg_.heracles;
 
-    workloads::LcApp lc(machine, cfg_.lc, mcfg.seed ^ 0x5C5C5C);
-    std::unique_ptr<workloads::BeTask> be;
-    const bool colocated =
-        cfg_.be.has_value() && cfg_.policy != PolicyKind::kNoColocation;
-    if (colocated) {
-        be = std::make_unique<workloads::BeTask>(machine, *cfg_.be);
-    }
-
-    platform::SimPlatform plat(machine, lc, be.get());
-    std::unique_ptr<ctl::HeraclesController> controller;
-
-    const auto& topo = machine.topology();
-    const int total_cores = mcfg.TotalCores();
-
-    switch (cfg_.policy) {
-      case PolicyKind::kNoColocation:
-        plat.ApplyInitialPlacement();
-        break;
-      case PolicyKind::kHeracles: {
-        plat.ApplyInitialPlacement();
-        ctl::LcBwModel model = ctl::LcBwModel::Profile(cfg_.lc, mcfg);
-        controller = std::make_unique<ctl::HeraclesController>(
-            plat, cfg_.heracles, std::move(model));
-        controller->Start();
-        break;
-      }
-      case PolicyKind::kOsOnly:
-        // Everything shares every cpu; the BE task runs with a tiny CFS
-        // shares value but still induces millisecond-scale scheduling
-        // delays plus unrestricted cache/bandwidth/power interference.
-        lc.SetCpus(topo.PhysicalCores(0, total_cores));
-        if (be) be->SetCpus(topo.PhysicalCores(0, total_cores));
-        lc.SetSchedDelayModel(0.30, sim::Micros(500), sim::Millis(10));
-        break;
-      case PolicyKind::kStaticPartition: {
-        // Conservative static split: half the cores and half the cache.
-        const int half = total_cores / 2;
-        lc.SetCpus(topo.PhysicalCores(0, half));
-        machine.SetCatWays(&lc, mcfg.llc_ways / 2);
-        if (be) {
-            be->SetCpus(topo.PhysicalCores(half, total_cores - half));
-            machine.SetCatWays(be.get(), mcfg.llc_ways / 2);
-        }
-        break;
-      }
-    }
+    ServerSim server(spec, queue);
+    workloads::LcApp& lc = server.lc();
+    workloads::BeTask* be = server.be();
+    ctl::HeraclesController* controller = server.controller();
 
     lc.SetLoad(load);
     lc.Start();
-    machine.ResolveNow();
+    server.machine().ResolveNow();
 
     queue.RunFor(cfg_.warmup);
 
     lc.ResetStats();
     if (be) be->ResetThroughput();
-    machine.ResetTelemetryAverages();
+    server.machine().ResetTelemetryAverages();
     const uint64_t completed_before = lc.TotalCompleted();
 
     queue.RunFor(cfg_.measure);
@@ -120,27 +70,28 @@ Experiment::RunAt(double load) const
     r.be_throughput = be ? be->AvgRate() / be_alone_rate_ : 0.0;
     r.emu = r.lc_throughput + r.be_throughput;
 
-    r.telemetry = machine.AveragedTelemetry();
-    r.be_cores = plat.BeCores();
-    r.be_ways = plat.BeWays();
-    r.be_freq_cap_ghz = plat.BeFreqCapGhz();
+    r.telemetry = server.machine().AveragedTelemetry();
+    r.be_cores = server.platform().BeCores();
+    r.be_ways = server.platform().BeWays();
+    r.be_freq_cap_ghz = server.platform().BeFreqCapGhz();
     r.slack = controller ? controller->LastSlack() : 0.0;
     if (controller) {
         r.be_disables = controller->stats().be_disables_slack +
                         controller->stats().be_disables_load;
     }
 
-    if (controller) controller->Stop();
+    server.StopController();
     return r;
 }
 
 std::vector<LoadPointResult>
-Experiment::Sweep(const std::vector<double>& loads) const
+Experiment::Sweep(const std::vector<double>& loads, int jobs) const
 {
-    std::vector<LoadPointResult> out;
-    out.reserve(loads.size());
-    for (double l : loads) out.push_back(RunAt(l));
-    return out;
+    // Each RunAt builds a completely fresh simulation whose seeds derive
+    // only from (config, load), so fanning the points across threads
+    // cannot change any result.
+    return runner::ParallelMap(jobs, loads.size(),
+                               [&](size_t i) { return RunAt(loads[i]); });
 }
 
 }  // namespace heracles::exp

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/server_sim.h"
 #include "heracles/config.h"
 #include "heracles/controller.h"
 #include "hw/machine.h"
@@ -24,17 +25,6 @@
 #include "workloads/lc_configs.h"
 
 namespace heracles::exp {
-
-/** How colocation is (or is not) managed. */
-enum class PolicyKind {
-    kNoColocation,     ///< LC alone on the machine (baseline).
-    kHeracles,         ///< The paper's controller over all 4 mechanisms.
-    kOsOnly,           ///< Linux-only: shared cpusets + CFS shares.
-    kStaticPartition,  ///< Fixed half/half cores + LLC, no controller.
-};
-
-/** Human-readable policy name. */
-std::string PolicyName(PolicyKind kind);
 
 /** Configuration of one colocation experiment. */
 struct ExperimentConfig {
@@ -86,9 +76,14 @@ class Experiment
     /** Runs warmup + measurement at a fixed load fraction. */
     LoadPointResult RunAt(double load) const;
 
-    /** Runs the whole sweep (one fresh simulation per point). */
-    std::vector<LoadPointResult> Sweep(
-        const std::vector<double>& loads) const;
+    /**
+     * Runs the whole sweep (one fresh simulation per point). Load points
+     * are fully independent, so with @p jobs > 1 they fan out across a
+     * runner::Pool; results are merged in load order and bit-identical
+     * to the serial (@p jobs <= 1) path.
+     */
+    std::vector<LoadPointResult> Sweep(const std::vector<double>& loads,
+                                       int jobs = 1) const;
 
     /** The BE job's standalone throughput (units/s), for normalization. */
     double BeAloneRate() const { return be_alone_rate_; }

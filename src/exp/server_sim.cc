@@ -1,0 +1,89 @@
+#include "exp/server_sim.h"
+
+namespace heracles::exp {
+
+std::string
+PolicyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kNoColocation: return "baseline";
+      case PolicyKind::kHeracles: return "heracles";
+      case PolicyKind::kOsOnly: return "os-only";
+      case PolicyKind::kStaticPartition: return "static";
+    }
+    return "?";
+}
+
+ServerSim::ServerSim(const ServerSpec& spec, sim::EventQueue& queue)
+{
+    machine_ = std::make_unique<hw::Machine>(spec.machine, queue);
+    if (spec.policy == PolicyKind::kOsOnly) {
+        machine_->AllowCpuSharing(true);
+    }
+
+    lc_ = std::make_unique<workloads::LcApp>(*machine_, spec.lc,
+                                             spec.lc_seed);
+    const bool colocated =
+        spec.be.has_value() && spec.policy != PolicyKind::kNoColocation;
+    if (colocated) {
+        be_ = std::make_unique<workloads::BeTask>(*machine_, *spec.be);
+    }
+
+    plat_ = std::make_unique<platform::SimPlatform>(*machine_, *lc_,
+                                                    be_.get());
+
+    const auto& topo = machine_->topology();
+    const int total_cores = spec.machine.TotalCores();
+
+    switch (spec.policy) {
+      case PolicyKind::kNoColocation:
+        plat_->ApplyInitialPlacement();
+        break;
+      case PolicyKind::kHeracles: {
+        plat_->ApplyInitialPlacement();
+        ctl::LcBwModel model =
+            spec.bw_model
+                ? *spec.bw_model
+                : ctl::LcBwModel::Profile(spec.lc, spec.machine);
+        controller_ = std::make_unique<ctl::HeraclesController>(
+            *plat_, spec.heracles, std::move(model));
+        controller_->Start();
+        break;
+      }
+      case PolicyKind::kOsOnly:
+        // Everything shares every cpu; the BE task runs with a tiny CFS
+        // shares value but still induces millisecond-scale scheduling
+        // delays plus unrestricted cache/bandwidth/power interference.
+        lc_->SetCpus(topo.PhysicalCores(0, total_cores));
+        if (be_) be_->SetCpus(topo.PhysicalCores(0, total_cores));
+        lc_->SetSchedDelayModel(0.30, sim::Micros(500), sim::Millis(10));
+        break;
+      case PolicyKind::kStaticPartition: {
+        // Conservative static split: half the cores and half the cache.
+        const int half = total_cores / 2;
+        lc_->SetCpus(topo.PhysicalCores(0, half));
+        machine_->SetCatWays(lc_.get(), spec.machine.llc_ways / 2);
+        if (be_) {
+            be_->SetCpus(topo.PhysicalCores(half, total_cores - half));
+            machine_->SetCatWays(be_.get(), spec.machine.llc_ways / 2);
+        }
+        break;
+      }
+    }
+}
+
+ServerSim::~ServerSim()
+{
+    StopController();
+}
+
+void
+ServerSim::StopController()
+{
+    if (controller_ && !controller_stopped_) {
+        controller_->Stop();
+        controller_stopped_ = true;
+    }
+}
+
+}  // namespace heracles::exp

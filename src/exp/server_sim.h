@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared single-server assembly.
+ *
+ * Every scenario in this library — a single-server experiment load point,
+ * a characterization cell, a cluster leaf — boils down to the same build:
+ * a fresh machine, the LC workload, an optional BE job, the platform
+ * binding and (policy permitting) a Heracles controller. ServerSim is
+ * that building block, extracted from exp/experiment.cc and
+ * cluster/cluster.cc so both layers compose one implementation.
+ *
+ * Construction order is fixed (machine, LC app, BE task, platform,
+ * controller) so that, for a given spec, the events scheduled during
+ * assembly land in the queue in a deterministic order.
+ */
+#ifndef HERACLES_EXP_SERVER_SIM_H
+#define HERACLES_EXP_SERVER_SIM_H
+
+#include <memory>
+#include <optional>
+
+#include "heracles/bw_model.h"
+#include "heracles/config.h"
+#include "heracles/controller.h"
+#include "hw/machine.h"
+#include "platform/sim_platform.h"
+#include "workloads/be_task.h"
+#include "workloads/lc_app.h"
+#include "workloads/lc_configs.h"
+
+namespace heracles::exp {
+
+/** How colocation is (or is not) managed. */
+enum class PolicyKind {
+    kNoColocation,     ///< LC alone on the machine (baseline).
+    kHeracles,         ///< The paper's controller over all 4 mechanisms.
+    kOsOnly,           ///< Linux-only: shared cpusets + CFS shares.
+    kStaticPartition,  ///< Fixed half/half cores + LLC, no controller.
+};
+
+/** Human-readable policy name. */
+std::string PolicyName(PolicyKind kind);
+
+/** Blueprint for one simulated server. All seeds must be resolved. */
+struct ServerSpec {
+    hw::MachineConfig machine;  ///< machine.seed already derived.
+    workloads::LcParams lc;
+    uint64_t lc_seed = 7;
+    std::optional<workloads::BeProfile> be;  ///< No BE when unset.
+    PolicyKind policy = PolicyKind::kHeracles;
+    ctl::HeraclesConfig heracles;
+    /**
+     * Pre-built LC bandwidth model for the Heracles controller (not
+     * owned; may outlive profiling cost when many servers share one
+     * model). When null the model is profiled during assembly.
+     */
+    const ctl::LcBwModel* bw_model = nullptr;
+};
+
+/**
+ * One assembled simulated server on a caller-owned event queue: machine +
+ * LC app + optional BE task + platform + policy wiring. The BE task is
+ * only instantiated when the spec carries a BE profile and the policy
+ * colocates; the controller only under PolicyKind::kHeracles (started
+ * during assembly).
+ *
+ * The caller still drives the workload (SetLoad/Start or StartExternal +
+ * InjectRequest) and runs the queue; ServerSim owns assembly and
+ * teardown.
+ */
+class ServerSim
+{
+  public:
+    ServerSim(const ServerSpec& spec, sim::EventQueue& queue);
+
+    /** Stops the controller (if any); members unwind in reverse order. */
+    ~ServerSim();
+
+    ServerSim(const ServerSim&) = delete;
+    ServerSim& operator=(const ServerSim&) = delete;
+
+    hw::Machine& machine() { return *machine_; }
+    workloads::LcApp& lc() { return *lc_; }
+    /** Null when not colocated. */
+    workloads::BeTask* be() { return be_.get(); }
+    platform::SimPlatform& platform() { return *plat_; }
+    /** Null unless the policy is kHeracles. */
+    ctl::HeraclesController* controller() { return controller_.get(); }
+
+    /** True when a BE task is colocated on this server. */
+    bool colocated() const { return be_ != nullptr; }
+
+    /** Cancels the controller loops; idempotent. */
+    void StopController();
+
+  private:
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<workloads::LcApp> lc_;
+    std::unique_ptr<workloads::BeTask> be_;
+    std::unique_ptr<platform::SimPlatform> plat_;
+    std::unique_ptr<ctl::HeraclesController> controller_;
+    bool controller_stopped_ = false;
+};
+
+}  // namespace heracles::exp
+
+#endif  // HERACLES_EXP_SERVER_SIM_H

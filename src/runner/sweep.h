@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Scenario fan-out on top of runner::Pool.
+ *
+ * A sweep is a flat list of (experiment configuration, load) jobs — a
+ * whole figure's worth of independent single-server simulations. RunSweep
+ * fans them across a pool, preserves each job's derived seeds (they are a
+ * pure function of the config and load, never of scheduling), and merges
+ * results in submission order, so parallel output is bit-identical to
+ * serial.
+ */
+#ifndef HERACLES_RUNNER_SWEEP_H
+#define HERACLES_RUNNER_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace heracles::runner {
+
+/** One independent simulation: a full experiment config at one load. */
+struct SweepJob {
+    exp::ExperimentConfig cfg;
+    double load = 0.0;
+    /** Optional caller tag (row label, variant name); carried through. */
+    std::string tag;
+    /**
+     * Jobs with the same non-negative row share one config and hence
+     * one Experiment (so the BE alone-rate baseline is measured once
+     * per row, not once per load point). AppendLoadJobs assigns rows;
+     * -1 means "standalone job, build its own Experiment".
+     */
+    int row = -1;
+};
+
+/**
+ * Runs every job across @p jobs threads, building one Experiment per
+ * row (or per stand-alone job). Results arrive in submission order;
+ * jobs <= 1 is the serial reference path producing identical bytes.
+ */
+std::vector<exp::LoadPointResult> RunSweep(
+    const std::vector<SweepJob>& sweep, int jobs);
+
+/**
+ * Fans one experiment's load points across @p jobs threads, sharing the
+ * already-measured BE-alone rate. Equivalent to Experiment::Sweep.
+ */
+std::vector<exp::LoadPointResult> RunSweep(const exp::Experiment& e,
+                                           const std::vector<double>& loads,
+                                           int jobs);
+
+/**
+ * Expands one config over many loads into jobs tagged with @p tag,
+ * appending to @p sweep. Convenience for building figure-bench job
+ * lists.
+ */
+void AppendLoadJobs(std::vector<SweepJob>& sweep,
+                    const exp::ExperimentConfig& cfg,
+                    const std::vector<double>& loads,
+                    const std::string& tag);
+
+}  // namespace heracles::runner
+
+#endif  // HERACLES_RUNNER_SWEEP_H

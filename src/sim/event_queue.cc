@@ -1,6 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
 #include <cstdio>
 
 namespace heracles::sim {
@@ -29,6 +28,7 @@ EventQueue::ScheduleAt(SimTime when, EventFn fn)
                        "scheduling into the past: " << when << " < " << now_);
     const EventId id = next_id_++;
     heap_.push(Item{when, next_seq_++, id, std::move(fn), /*period=*/0});
+    pending_ids_.insert(id);
     return id;
 }
 
@@ -39,16 +39,8 @@ EventQueue::SchedulePeriodic(Duration period, Duration phase, EventFn fn)
     HERACLES_CHECK(phase >= 0);
     const EventId id = next_id_++;
     heap_.push(Item{now_ + phase, next_seq_++, id, std::move(fn), period});
+    pending_ids_.insert(id);
     return id;
-}
-
-bool
-EventQueue::IsCancelled(EventId id)
-{
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-    if (it == cancelled_.end()) return false;
-    cancelled_.erase(it);
-    return true;
 }
 
 void
@@ -57,15 +49,22 @@ EventQueue::RunUntil(SimTime until)
     while (!heap_.empty() && heap_.top().when <= until) {
         Item item = heap_.top();
         heap_.pop();
-        if (IsCancelled(item.id)) {
+        if (cancelled_.erase(item.id) > 0) {
             // Periodic events are dropped entirely once cancelled; one-shot
-            // events simply never fire.
+            // events simply never fire. (Cancel already removed the id
+            // from pending_ids_.)
             continue;
         }
         now_ = item.when;
         ++executed_;
+        // A one-shot event is no longer pending the moment it fires —
+        // erase before the callback so a self-Cancel inside fn() is a
+        // clean no-op instead of a leaked cancelled_ entry.
+        if (item.period <= 0) pending_ids_.erase(item.id);
         item.fn();
         if (item.period > 0) {
+            // A callback may have cancelled its own periodic event.
+            if (cancelled_.erase(item.id) > 0) continue;
             item.when = now_ + item.period;
             item.seq = next_seq_++;
             heap_.push(std::move(item));

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/log.h"
@@ -63,8 +64,15 @@ class EventQueue
      */
     EventId SchedulePeriodic(Duration period, Duration phase, EventFn fn);
 
-    /** Cancels a pending (or periodic) event. Cancelling twice is a no-op. */
-    void Cancel(EventId id) { cancelled_.push_back(id); }
+    /**
+     * Cancels a pending (or periodic) event in O(1). Cancelling twice, or
+     * cancelling an already-fired one-shot event, is a no-op and leaves no
+     * bookkeeping behind.
+     */
+    void Cancel(EventId id)
+    {
+        if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+    }
 
     /** Runs events until the queue is empty or the clock reaches @p until. */
     void RunUntil(SimTime until);
@@ -77,6 +85,9 @@ class EventQueue
 
     /** Number of events currently pending. */
     size_t pending() const { return heap_.size(); }
+
+    /** Cancelled events not yet dropped from the heap (for tests). */
+    size_t cancelled_backlog() const { return cancelled_.size(); }
 
   private:
     struct Item {
@@ -94,10 +105,11 @@ class EventQueue
         }
     };
 
-    bool IsCancelled(EventId id);
-
     std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
-    std::vector<EventId> cancelled_;
+    /** Ids of every event still in the heap (live events). */
+    std::unordered_set<EventId> pending_ids_;
+    /** Live ids that were cancelled; erased when popped off the heap. */
+    std::unordered_set<EventId> cancelled_;
     SimTime now_ = 0;
     uint64_t next_seq_ = 0;
     EventId next_id_ = 1;

@@ -216,6 +216,31 @@ TEST(Characterization, MemkeyvalKilledByNetworkAntagonist)
     EXPECT_GT(rig.RunCell(AntagonistKind::kNetwork, 0.5), 3.0);
 }
 
+TEST(Characterization, ParallelRowsIdenticalToPerCellRuns)
+{
+    CharacterizationRig rig(hw::MachineConfig{}, workloads::Websearch(),
+                            sim::Seconds(5), sim::Seconds(10));
+    const std::vector<double> loads = {0.3, 0.7};
+
+    const auto row = rig.RunRow(AntagonistKind::kDram, loads, /*jobs=*/4);
+    ASSERT_EQ(row.size(), loads.size());
+    for (size_t i = 0; i < loads.size(); ++i) {
+        EXPECT_DOUBLE_EQ(row[i],
+                         rig.RunCell(AntagonistKind::kDram, loads[i]));
+    }
+
+    const auto grid = rig.RunGrid(
+        {AntagonistKind::kDram, AntagonistKind::kHyperThread}, loads,
+        /*jobs=*/4);
+    ASSERT_EQ(grid.size(), 2u);
+    EXPECT_EQ(grid[0], row);
+    EXPECT_EQ(grid[1], rig.RunRow(AntagonistKind::kHyperThread, loads, 1));
+
+    const auto base = rig.RunBaselineRow(loads, /*jobs=*/4);
+    ASSERT_EQ(base.size(), loads.size());
+    EXPECT_DOUBLE_EQ(base[0], rig.RunBaseline(loads[0]));
+}
+
 TEST(Characterization, BaselineComfortableAtMidLoad)
 {
     CharacterizationRig rig(hw::MachineConfig{}, workloads::Websearch(),

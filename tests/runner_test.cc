@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the runner subsystem: pool semantics, ParallelFor/Map
+ * ordering, and the core guarantee that a parallel sweep is
+ * bit-identical to the serial path.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "runner/pool.h"
+#include "runner/sweep.h"
+
+namespace heracles::runner {
+namespace {
+
+// --------------------------------------------------------------------------
+// Pool
+
+TEST(Pool, RunsEverySubmittedTask)
+{
+    Pool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.Submit([&count] { ++count; });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Pool, WaitIsReusable)
+{
+    Pool pool(2);
+    std::atomic<int> count{0};
+    pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.Submit([&count] { ++count; });
+    pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Pool, WaitOnEmptyPoolReturns)
+{
+    Pool pool(3);
+    pool.Wait();  // nothing submitted; must not hang
+    EXPECT_EQ(pool.threads(), 3);
+}
+
+TEST(Pool, ClampsThreadCountToOne)
+{
+    Pool pool(0);
+    EXPECT_EQ(pool.threads(), 1);
+    std::atomic<int> count{0};
+    pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Pool, DestructorDrainsPendingWork)
+{
+    std::atomic<int> count{0};
+    {
+        Pool pool(2);
+        for (int i = 0; i < 50; ++i) pool.Submit([&count] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+// --------------------------------------------------------------------------
+// ParallelFor / ParallelMap
+
+TEST(ParallelFor, SerialPathPreservesIndexOrder)
+{
+    std::vector<size_t> seen;
+    ParallelFor(1, 10, [&seen](size_t i) { seen.push_back(i); });
+    std::vector<size_t> want(10);
+    std::iota(want.begin(), want.end(), 0);
+    EXPECT_EQ(seen, want);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(64);
+    ParallelFor(4, hits.size(), [&hits](size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelMap, ResultsIndexedRegardlessOfJobs)
+{
+    const auto square = [](size_t i) { return i * i; };
+    const auto serial = ParallelMap(1, 32, square);
+    const auto parallel = ParallelMap(4, 32, square);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial[7], 49u);
+}
+
+TEST(HardwareJobs, AtLeastOne)
+{
+    EXPECT_GE(HardwareJobs(), 1);
+}
+
+// --------------------------------------------------------------------------
+// Sweep determinism: the acceptance criterion. A parallel sweep (jobs=4)
+// must produce results identical to the serial path for fixed seeds.
+
+exp::ExperimentConfig
+SweepConfig()
+{
+    exp::ExperimentConfig cfg;
+    cfg.lc = workloads::Websearch();
+    cfg.be = workloads::Brain();
+    cfg.policy = exp::PolicyKind::kHeracles;
+    cfg.warmup = sim::Seconds(30);
+    cfg.measure = sim::Seconds(30);
+    cfg.seed = 7;
+    return cfg;
+}
+
+void
+ExpectIdentical(const exp::LoadPointResult& a,
+                const exp::LoadPointResult& b)
+{
+    EXPECT_DOUBLE_EQ(a.load, b.load);
+    EXPECT_EQ(a.worst_tail, b.worst_tail);
+    EXPECT_DOUBLE_EQ(a.tail_frac_slo, b.tail_frac_slo);
+    EXPECT_EQ(a.slo_violated, b.slo_violated);
+    EXPECT_DOUBLE_EQ(a.lc_throughput, b.lc_throughput);
+    EXPECT_DOUBLE_EQ(a.be_throughput, b.be_throughput);
+    EXPECT_DOUBLE_EQ(a.emu, b.emu);
+    EXPECT_EQ(a.be_cores, b.be_cores);
+    EXPECT_EQ(a.be_ways, b.be_ways);
+    EXPECT_DOUBLE_EQ(a.be_freq_cap_ghz, b.be_freq_cap_ghz);
+    EXPECT_DOUBLE_EQ(a.slack, b.slack);
+    EXPECT_EQ(a.be_disables, b.be_disables);
+}
+
+TEST(SweepDeterminism, ParallelSweepIdenticalToSerial)
+{
+    const exp::Experiment e(SweepConfig());
+    const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8};
+
+    const auto serial = e.Sweep(loads, /*jobs=*/1);
+    const auto parallel = e.Sweep(loads, /*jobs=*/4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ExpectIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(SweepDeterminism, RunSweepMatchesPerJobExperiments)
+{
+    std::vector<SweepJob> sweep;
+    exp::ExperimentConfig heracles = SweepConfig();
+    exp::ExperimentConfig baseline = SweepConfig();
+    baseline.be.reset();
+    baseline.policy = exp::PolicyKind::kNoColocation;
+    AppendLoadJobs(sweep, heracles, {0.3, 0.6}, "heracles");
+    AppendLoadJobs(sweep, baseline, {0.3, 0.6}, "baseline");
+    ASSERT_EQ(sweep.size(), 4u);
+    EXPECT_EQ(sweep[0].tag, "heracles");
+    EXPECT_EQ(sweep[3].tag, "baseline");
+
+    const auto parallel = RunSweep(sweep, /*jobs=*/4);
+    ASSERT_EQ(parallel.size(), 4u);
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const auto serial =
+            exp::Experiment(sweep[i].cfg).RunAt(sweep[i].load);
+        ExpectIdentical(serial, parallel[i]);
+    }
+}
+
+TEST(SweepDeterminism, ExperimentSweepHelperMatchesRunSweep)
+{
+    const exp::Experiment e(SweepConfig());
+    const std::vector<double> loads = {0.25, 0.75};
+    const auto a = e.Sweep(loads, 2);
+    const auto b = RunSweep(e, loads, 2);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) ExpectIdentical(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace heracles::runner

@@ -146,6 +146,74 @@ TEST(EventQueue, CancelFromInsideCallback)
     EXPECT_EQ(count, 2);
 }
 
+TEST(EventQueue, CancelAfterOneShotFiredLeavesNoBookkeeping)
+{
+    // Regression: cancelling already-fired one-shot events used to grow
+    // the cancellation list without bound (linear scans on every fire).
+    EventQueue q;
+    std::vector<EventQueue::EventId> ids;
+    for (int i = 0; i < 1000; ++i) {
+        ids.push_back(q.ScheduleAt(i, [] {}));
+    }
+    q.RunUntil(1000);
+    for (auto id : ids) q.Cancel(id);  // all already fired: no-ops
+    EXPECT_EQ(q.cancelled_backlog(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelledBacklogDrainsWhenEventsPop)
+{
+    EventQueue q;
+    auto a = q.ScheduleAt(10, [] {});
+    auto b = q.ScheduleAt(20, [] {});
+    q.Cancel(a);
+    q.Cancel(b);
+    q.Cancel(b);  // double-cancel is a no-op
+    EXPECT_EQ(q.cancelled_backlog(), 2u);
+    q.RunUntil(100);
+    EXPECT_EQ(q.cancelled_backlog(), 0u);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, CancelledPeriodicLeavesNoBookkeeping)
+{
+    EventQueue q;
+    int count = 0;
+    auto id = q.SchedulePeriodic(10, 10, [&] { ++count; });
+    q.RunUntil(35);
+    q.Cancel(id);
+    q.Cancel(id);  // no-op
+    q.RunUntil(200);
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(q.cancelled_backlog(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, OneShotSelfCancelLeavesNoBookkeeping)
+{
+    EventQueue q;
+    EventQueue::EventId id = 0;
+    id = q.ScheduleAt(10, [&] { q.Cancel(id); });  // fires, then no-op
+    q.RunUntil(100);
+    EXPECT_EQ(q.executed(), 1u);
+    EXPECT_EQ(q.cancelled_backlog(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, SelfCancelledPeriodicLeavesNoBookkeeping)
+{
+    EventQueue q;
+    int count = 0;
+    EventQueue::EventId id = 0;
+    id = q.SchedulePeriodic(10, 10, [&] {
+        if (++count == 2) q.Cancel(id);
+    });
+    q.RunUntil(200);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.cancelled_backlog(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
 TEST(EventQueue, ExecutedCountsEvents)
 {
     EventQueue q;

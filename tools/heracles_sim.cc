@@ -11,14 +11,22 @@
  *                [--policy heracles|baseline|os-only|static]
  *                [--load 0.5] [--warmup-s 150] [--measure-s 120]
  *                [--seed 1]
+ *                [--sweep 0.1,0.3,0.5|paper] [--jobs N]
+ *
+ * With --sweep, runs every listed load (or the paper's 5%..95% grid)
+ * instead of a single point, fanning the independent load points across
+ * --jobs worker threads (default: hardware concurrency). Parallel
+ * results are bit-identical to --jobs 1.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "exp/experiment.h"
 #include "exp/reporting.h"
+#include "runner/pool.h"
 
 using namespace heracles;
 
@@ -30,9 +38,33 @@ Usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s [--lc NAME] [--be NAME|none] "
                  "[--policy NAME] [--load F] [--warmup-s S] "
-                 "[--measure-s S] [--seed N]\n",
+                 "[--measure-s S] [--seed N] "
+                 "[--sweep F,F,...|paper] [--jobs N]\n",
                  argv0);
     std::exit(2);
+}
+
+/** Parses "0.1,0.3,0.5" (or "paper") into load fractions. */
+std::vector<double>
+ParseSweep(const char* argv0, const std::string& spec)
+{
+    if (spec == "paper") return exp::Experiment::PaperLoads(0.05);
+    std::vector<double> loads;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        char* end = nullptr;
+        const double l = std::strtod(spec.c_str() + pos, &end);
+        const size_t used = end - (spec.c_str() + pos);
+        if (used == 0 || l <= 0.0 || l > 1.0) Usage(argv0);
+        loads.push_back(l);
+        pos += used;
+        if (pos < spec.size()) {
+            if (spec[pos] != ',') Usage(argv0);
+            ++pos;
+        }
+    }
+    if (loads.empty()) Usage(argv0);
+    return loads;
 }
 
 exp::PolicyKind
@@ -67,6 +99,8 @@ main(int argc, char** argv)
     double load = 0.5;
     double warmup_s = 150.0, measure_s = 120.0;
     uint64_t seed = 1;
+    std::string sweep_spec;
+    int jobs = runner::DefaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* {
@@ -87,6 +121,11 @@ main(int argc, char** argv)
             measure_s = std::atof(next());
         } else if (!std::strcmp(argv[i], "--seed")) {
             seed = std::strtoull(next(), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--sweep")) {
+            sweep_spec = next();
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            jobs = std::atoi(next());
+            if (jobs <= 0) Usage(argv[0]);
         } else {
             Usage(argv[0]);
         }
@@ -104,6 +143,30 @@ main(int argc, char** argv)
     cfg.seed = seed;
 
     exp::Experiment experiment(cfg);
+
+    if (!sweep_spec.empty()) {
+        const auto loads = ParseSweep(argv[0], sweep_spec);
+        const auto results = experiment.Sweep(loads, jobs);
+
+        std::printf("%s + %s under %s, %zu load points (%d jobs):\n",
+                    lc_name.c_str(), be_name.c_str(), policy_name.c_str(),
+                    loads.size(), jobs);
+        exp::Table table({"load", "tail (% SLO)", "SLO ok", "LC tput",
+                          "BE tput", "EMU"});
+        bool violated = false;
+        for (const auto& r : results) {
+            violated |= r.slo_violated;
+            table.AddRow({exp::FormatPct(r.load),
+                          exp::FormatTailFrac(r.tail_frac_slo),
+                          r.slo_violated ? "VIOLATED" : "yes",
+                          exp::FormatPct(r.lc_throughput),
+                          exp::FormatPct(r.be_throughput),
+                          exp::FormatPct(r.emu)});
+        }
+        table.Print();
+        return violated ? 1 : 0;
+    }
+
     const auto r = experiment.RunAt(load);
 
     std::printf("%s + %s under %s at %.0f%% load:\n", lc_name.c_str(),
