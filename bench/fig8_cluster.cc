@@ -15,6 +15,8 @@
 #include "bench_common.h"
 #include "cluster/cluster.h"
 #include "exp/reporting.h"
+#include "scenarios/registry.h"
+#include "scenarios/runner.h"
 
 using namespace heracles;
 
@@ -42,7 +44,10 @@ PrintSeries(const cluster::ClusterResult& r, const std::string& label)
 int
 main(int argc, char** argv)
 {
-    cluster::ClusterConfig cfg;
+    // The figure is the cataloged cluster scenario at bench scale: same
+    // assembly as the golden harness, larger cluster and longer trace.
+    cluster::ClusterConfig cfg = scenarios::ClusterConfigFor(
+        scenarios::MustFindScenario("cluster_websearch_heracles"));
     cfg.jobs = bench::ParseJobs(argc, argv);
     cfg.leaves = bench::FastMode() ? 8 : 12;
     cfg.duration = bench::Scaled(sim::Minutes(25), sim::Minutes(10));

@@ -7,20 +7,25 @@
  * root latency over 30-second windows with the target defined at 90%
  * load. Heracles on each leaf colocates brain or streetview while the
  * diurnal valley frees capacity.
+ *
+ * The assembly comes from the scenario catalog: the example composes
+ * the registered cluster scenario's config (so it always matches what
+ * the golden harness regresses) and only prints a richer time series.
  */
 #include <cstdio>
 
 #include "cluster/cluster.h"
 #include "exp/reporting.h"
+#include "scenarios/registry.h"
+#include "scenarios/runner.h"
 
 using namespace heracles;
 
 int
 main()
 {
-    cluster::ClusterConfig cfg;
-    cfg.leaves = 6;
-    cfg.duration = sim::Minutes(10);
+    cluster::ClusterConfig cfg = scenarios::ClusterConfigFor(
+        scenarios::MustFindScenario("cluster_websearch_heracles"));
 
     cluster::ClusterExperiment experiment(cfg);
     const sim::Duration target = experiment.MeasureTarget();

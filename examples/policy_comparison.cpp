@@ -2,18 +2,24 @@
  * @file
  * Comparing isolation policies on the same colocation.
  *
- * websearch + brain at 40% load under four policies:
+ * The catalog already registers websearch + brain under every policy:
  *  - baseline:      websearch alone (wasted capacity)
  *  - os-only:       shared cpus with CFS shares (the paper's Figure 1
  *                   "brain" row: massive SLO violations)
  *  - static:        a fixed half/half core + cache split (safe at low
  *                   load, violates or wastes at high load)
  *  - heracles:      dynamic coordinated isolation
+ *
+ * Instead of assembling four experiments by hand, the example composes
+ * each policy's experiment from its registered scenario and sweeps two
+ * load points.
  */
 #include <cstdio>
 
 #include "exp/experiment.h"
 #include "exp/reporting.h"
+#include "scenarios/registry.h"
+#include "scenarios/runner.h"
 
 using namespace heracles;
 
@@ -23,19 +29,16 @@ main()
     exp::PrintBanner("websearch + brain: isolation policy comparison");
 
     exp::Table table({"policy", "load", "p99 (% of SLO)", "SLO ok", "EMU"});
-    for (const auto policy :
-         {exp::PolicyKind::kNoColocation, exp::PolicyKind::kOsOnly,
-          exp::PolicyKind::kStaticPartition, exp::PolicyKind::kHeracles}) {
+    for (const char* name :
+         {"websearch_baseline", "websearch_brain_os_only",
+          "websearch_brain_static", "websearch_brain_heracles"}) {
+        const scenarios::ScenarioSpec& spec =
+            scenarios::MustFindScenario(name);
+        exp::Experiment e(scenarios::ExperimentConfigFor(spec));
         for (double load : {0.4, 0.8}) {
-            exp::ExperimentConfig cfg;
-            cfg.lc = workloads::Websearch();
-            cfg.be = workloads::Brain();
-            cfg.policy = policy;
-            cfg.warmup = sim::Seconds(150);
-            cfg.measure = sim::Seconds(120);
-            exp::Experiment e(cfg);
             const auto r = e.RunAt(load);
-            table.AddRow({exp::PolicyName(policy), exp::FormatPct(load),
+            table.AddRow({exp::PolicyName(spec.policy),
+                          exp::FormatPct(load),
                           exp::FormatTailFrac(r.tail_frac_slo),
                           r.slo_violated ? "VIOLATED" : "yes",
                           exp::FormatPct(r.emu)});

@@ -140,6 +140,29 @@ class ClusterSim
     const sim::TimeSeries& load_series() const { return load_; }
     sim::Duration worst_window() const { return worst_window_; }
 
+    /** Sums per-leaf controller stats and actuation counts into @p r. */
+    void
+    AccumulateActivity(ClusterResult& r) const
+    {
+        for (const auto& leaf : leaves_) {
+            if (const ctl::HeraclesController* c =
+                    leaf.server->controller()) {
+                const ctl::ControllerStats& s = c->stats();
+                r.polls += s.polls;
+                r.be_enables += s.be_enables;
+                r.be_disables +=
+                    s.be_disables_slack + s.be_disables_load;
+                r.core_shrinks += s.core_shrinks;
+            }
+            const platform::ActuationCounts& a =
+                leaf.server->platform().actuations();
+            r.actuations.set_cores += a.set_cores;
+            r.actuations.set_ways += a.set_ways;
+            r.actuations.set_freq_cap += a.set_freq_cap;
+            r.actuations.set_net_ceil += a.set_net_ceil;
+        }
+    }
+
   private:
     struct Leaf {
         std::unique_ptr<exp::ServerSim> server;
@@ -250,7 +273,7 @@ ClusterExperiment::MeasureTarget()
     if (target_ > 0) return target_;
     sim::ConstantTrace trace(cfg_.target_load);
     ClusterSim sim(cfg_, trace, /*colocate=*/false, /*target=*/0);
-    sim.Run(sim::Minutes(3), /*warmup=*/sim::Seconds(60));
+    sim.Run(cfg_.target_run, cfg_.run_warmup);
     // The worst mu/30s window at the defining load is the SLO target,
     // with a small confidence margin: the defining run observes only a
     // few windows, so its sample maximum understates the true worst
@@ -283,9 +306,10 @@ ClusterExperiment::Run()
     // Every leaf's Heracles defends the derived uniform tail target.
     run_cfg.lc.slo_latency = leaf_target_;
     ClusterSim sim(run_cfg, trace, cfg_.colocate, target_);
-    sim.Run(cfg_.duration, /*warmup=*/sim::Seconds(60));
+    sim.Run(cfg_.duration, cfg_.run_warmup);
 
     ClusterResult r;
+    sim.AccumulateActivity(r);
     r.leaf_target = leaf_target_;
     r.latency_frac = sim.latency_series();
     r.emu = sim.emu_series();

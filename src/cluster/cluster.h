@@ -18,6 +18,7 @@
 
 #include "heracles/config.h"
 #include "hw/config.h"
+#include "platform/sim_platform.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 #include "workloads/lc_configs.h"
@@ -46,6 +47,10 @@ struct ClusterConfig {
     sim::Duration hop = sim::Micros(250);
     /** Load used to define the root latency target (paper: 90%). */
     double target_load = 0.90;
+    /** Length of the target-defining run (MeasureTarget). */
+    sim::Duration target_run = sim::Minutes(3);
+    /** Warmup excluded from every run's window statistics. */
+    sim::Duration run_warmup = sim::Seconds(60);
 
     /**
      * Centralized controller (the paper's future work): dynamically
@@ -86,6 +91,15 @@ struct ClusterResult {
     double min_emu = 0.0;
     sim::Duration target = 0;       ///< Root mu/30s target.
     sim::Duration leaf_target = 0;  ///< Uniform per-leaf tail target.
+
+    // Controller activity summed over every leaf (zero when the run is
+    // not colocated) — the scenario harness pins these against golden
+    // baselines alongside the latency/EMU outcome.
+    uint64_t polls = 0;
+    uint64_t be_enables = 0;
+    uint64_t be_disables = 0;  ///< Slack + load safeguards combined.
+    uint64_t core_shrinks = 0;
+    platform::ActuationCounts actuations;
 };
 
 /** Runs the fan-out cluster under a diurnal trace. */

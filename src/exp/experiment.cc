@@ -30,10 +30,9 @@ Experiment::RunAt(double load) const
 
     ServerSpec spec;
     spec.machine = cfg_.machine;
-    spec.machine.seed = cfg_.seed * 1000003ull +
-                        static_cast<uint64_t>(std::lround(load * 1000));
     spec.lc = cfg_.lc;
-    spec.lc_seed = spec.machine.seed ^ 0x5C5C5C;
+    spec.SeedFrom(cfg_.seed,
+                  static_cast<uint64_t>(std::lround(load * 1000)));
     spec.be = cfg_.be;
     spec.policy = cfg_.policy;
     spec.heracles = cfg_.heracles;
@@ -47,14 +46,8 @@ Experiment::RunAt(double load) const
     lc.Start();
     server.machine().ResolveNow();
 
-    queue.RunFor(cfg_.warmup);
-
-    lc.ResetStats();
-    if (be) be->ResetThroughput();
-    server.machine().ResetTelemetryAverages();
-    const uint64_t completed_before = lc.TotalCompleted();
-
-    queue.RunFor(cfg_.measure);
+    const uint64_t completed =
+        server.RunMeasured(cfg_.warmup, cfg_.measure);
 
     LoadPointResult r;
     r.load = load;
@@ -65,8 +58,7 @@ Experiment::RunAt(double load) const
 
     const double measure_s = sim::ToSeconds(cfg_.measure);
     r.lc_throughput =
-        static_cast<double>(lc.TotalCompleted() - completed_before) /
-        measure_s / cfg_.lc.peak_qps;
+        static_cast<double>(completed) / measure_s / cfg_.lc.peak_qps;
     r.be_throughput = be ? be->AvgRate() / be_alone_rate_ : 0.0;
     r.emu = r.lc_throughput + r.be_throughput;
 

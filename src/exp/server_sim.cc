@@ -15,6 +15,7 @@ PolicyName(PolicyKind kind)
 }
 
 ServerSim::ServerSim(const ServerSpec& spec, sim::EventQueue& queue)
+    : queue_(queue)
 {
     machine_ = std::make_unique<hw::Machine>(spec.machine, queue);
     if (spec.policy == PolicyKind::kOsOnly) {
@@ -84,6 +85,20 @@ ServerSim::StopController()
         controller_->Stop();
         controller_stopped_ = true;
     }
+}
+
+uint64_t
+ServerSim::RunMeasured(sim::Duration warmup, sim::Duration measure)
+{
+    queue_.RunFor(warmup);
+
+    lc_->ResetStats();
+    if (be_) be_->ResetThroughput();
+    machine_->ResetTelemetryAverages();
+    const uint64_t completed_before = lc_->TotalCompleted();
+
+    queue_.RunFor(measure);
+    return lc_->TotalCompleted() - completed_before;
 }
 
 }  // namespace heracles::exp

@@ -46,6 +46,19 @@ struct ServerSpec {
     hw::MachineConfig machine;  ///< machine.seed already derived.
     workloads::LcParams lc;
     uint64_t lc_seed = 7;
+
+    /**
+     * The one seed-derivation scheme for every assembly: machine and LC
+     * streams from a run seed plus a per-run salt (e.g. the load point).
+     * Experiments and scenarios must share this so identical (seed,
+     * salt) pairs build bit-identical servers.
+     */
+    void
+    SeedFrom(uint64_t seed, uint64_t salt)
+    {
+        machine.seed = seed * 1000003ull + salt;
+        lc_seed = machine.seed ^ 0x5C5C5C;
+    }
     std::optional<workloads::BeProfile> be;  ///< No BE when unset.
     PolicyKind policy = PolicyKind::kHeracles;
     ctl::HeraclesConfig heracles;
@@ -73,6 +86,8 @@ class ServerSim
   public:
     ServerSim(const ServerSpec& spec, sim::EventQueue& queue);
 
+    sim::EventQueue& queue() { return queue_; }
+
     /** Stops the controller (if any); members unwind in reverse order. */
     ~ServerSim();
 
@@ -93,7 +108,18 @@ class ServerSim
     /** Cancels the controller loops; idempotent. */
     void StopController();
 
+    /**
+     * The shared warmup/measure protocol: runs @p warmup, then resets
+     * the LC statistics, BE throughput accounting and telemetry
+     * averages, runs @p measure, and returns the number of LC requests
+     * completed inside the measurement window. Both Experiment load
+     * points and catalog scenarios measure through this one sequence so
+     * the reset protocol can never diverge between them.
+     */
+    uint64_t RunMeasured(sim::Duration warmup, sim::Duration measure);
+
   private:
+    sim::EventQueue& queue_;
     std::unique_ptr<hw::Machine> machine_;
     std::unique_ptr<workloads::LcApp> lc_;
     std::unique_ptr<workloads::BeTask> be_;

@@ -35,33 +35,40 @@ void
 Machine::AddClient(ResourceClient* client)
 {
     HERACLES_CHECK(client != nullptr);
-    HERACLES_CHECK_MSG(!clients_.count(client),
-                       "client registered twice: " << client->name());
-    clients_[client] = ClientState{};
+    for (const auto& [other, st] : clients_) {
+        HERACLES_CHECK_MSG(other != client,
+                           "client registered twice: " << client->name());
+    }
+    clients_.emplace_back(client, ClientState{});
 }
 
 void
 Machine::RemoveClient(ResourceClient* client)
 {
-    clients_.erase(client);
+    for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+        if (it->first == client) {
+            clients_.erase(it);
+            return;
+        }
+    }
 }
 
 Machine::ClientState&
 Machine::StateOf(ResourceClient* client)
 {
-    auto it = clients_.find(client);
-    HERACLES_CHECK_MSG(it != clients_.end(),
-                       "unregistered client: " << client->name());
-    return it->second;
+    for (auto& [c, st] : clients_) {
+        if (c == client) return st;
+    }
+    HERACLES_FATAL("unregistered client: " << client->name());
 }
 
 const Machine::ClientState&
 Machine::StateOf(const ResourceClient* client) const
 {
-    auto it = clients_.find(const_cast<ResourceClient*>(client));
-    HERACLES_CHECK_MSG(it != clients_.end(),
-                       "unregistered client: " << client->name());
-    return it->second;
+    for (const auto& [c, st] : clients_) {
+        if (c == client) return st;
+    }
+    HERACLES_FATAL("unregistered client: " << client->name());
 }
 
 void
@@ -137,25 +144,22 @@ Machine::ResolveLlcAndDram()
         st.view.dram_stretch = 0.0;  // accumulated per socket below
     }
 
-    // Stable iteration order: the map is keyed by pointer but we only ever
-    // use positional indices within this function.
-    std::vector<ResourceClient*> order;
-    order.reserve(clients_.size());
-    for (auto& [c, st] : clients_) order.push_back(c);
-
+    // clients_ iterates in registration order (never pointer order —
+    // grants must not depend on the heap); indices below are positions
+    // in that container.
     for (int socket = 0; socket < cfg_.sockets; ++socket) {
         // Which clients have cpus here, and with what share of their cpus.
         std::vector<LlcRequest> reqs;
-        std::vector<size_t> idx;           // into `order`
+        std::vector<size_t> idx;           // into `clients_`
         std::vector<double> socket_frac;   // client's cpus on this socket
-        for (size_t i = 0; i < order.size(); ++i) {
-            auto& st = clients_[order[i]];
+        for (size_t i = 0; i < clients_.size(); ++i) {
+            auto& [client, st] = clients_[i];
             if (st.cpus.Empty()) continue;
             const int here = topo_.OnSocket(st.cpus, socket).Count();
             if (here == 0) continue;
             LlcRequest r;
-            r.footprint_mb = order[i]->LlcFootprintMb(socket);
-            r.weight = order[i]->LlcAccessWeight(socket);
+            r.footprint_mb = client->LlcFootprintMb(socket);
+            r.weight = client->LlcAccessWeight(socket);
             r.cat_ways = st.cat_ways;
             reqs.push_back(r);
             idx.push_back(i);
@@ -168,13 +172,14 @@ Machine::ResolveLlcAndDram()
         // DRAM demand given the resolved cache shares.
         std::vector<double> demand(reqs.size(), 0.0);
         for (size_t k = 0; k < reqs.size(); ++k) {
-            demand[k] = order[idx[k]]->DramDemandGbps(socket, llc[k]);
+            demand[k] =
+                clients_[idx[k]].first->DramDemandGbps(socket, llc[k]);
         }
         const DramOutcome dram = ResolveDram(cfg_, demand);
         dram_granted_[socket] = dram.total_granted_gbps;
 
         for (size_t k = 0; k < reqs.size(); ++k) {
-            TaskView& v = clients_[order[idx[k]]].view;
+            TaskView& v = clients_[idx[k]].second.view;
             v.llc_mb[socket] = llc[k];
             v.dram_demand_gbps[socket] = demand[k];
             v.dram_granted_gbps[socket] = dram.granted_gbps[k];
@@ -186,7 +191,7 @@ Machine::ResolveLlcAndDram()
         // weighted by the client's cpu fraction on this socket so a
         // client living on one socket sees only that socket's stretch.
         for (size_t k = 0; k < reqs.size(); ++k) {
-            TaskView& v = clients_[order[idx[k]]].view;
+            TaskView& v = clients_[idx[k]].second.view;
             v.dram_stretch += dram.stretch * socket_frac[k];
         }
     }

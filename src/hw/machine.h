@@ -20,8 +20,8 @@
 #ifndef HERACLES_HW_MACHINE_H
 #define HERACLES_HW_MACHINE_H
 
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/client.h"
@@ -155,7 +155,14 @@ class Machine
     mutable sim::Rng noise_rng_;
     sim::EventQueue::EventId epoch_event_;
 
-    std::map<ResourceClient*, ClientState> clients_;
+    /**
+     * Registered tasks in registration order. Deliberately NOT keyed by
+     * pointer: every resolver phase iterates this container, and
+     * pointer-ordered iteration would make resource grants depend on
+     * heap addresses — bit-exact reproducibility requires the order to
+     * derive from construction order alone.
+     */
+    std::vector<std::pair<ResourceClient*, ClientState>> clients_;
     bool allow_sharing_ = false;
     double be_net_ceil_gbps_ = -1.0;
 

@@ -54,6 +54,7 @@ SimPlatform::ApplyCat()
 void
 SimPlatform::SetBeCores(int cores)
 {
+    ++actuations_.set_cores;
     // The LC workload always keeps at least one physical core.
     const int total = machine_.config().TotalCores();
     be_cores_ = std::clamp(cores, 0, total - 1);
@@ -66,6 +67,7 @@ SimPlatform::SetBeCores(int cores)
 void
 SimPlatform::SetBeWays(int ways)
 {
+    ++actuations_.set_ways;
     // BE never gets every way: the LC partition keeps at least 4 ways
     // (its hot working set), mirroring production resctrl configs.
     const int total_ways = machine_.config().llc_ways;
@@ -112,6 +114,7 @@ SimPlatform::BeFreqCapGhz()
 void
 SimPlatform::SetBeFreqCapGhz(double ghz)
 {
+    ++actuations_.set_freq_cap;
     if (be_ != nullptr) {
         machine_.SetFreqCapGhz(be_, ghz);
         machine_.ResolveNow();

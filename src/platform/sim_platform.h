@@ -20,6 +20,19 @@
 
 namespace heracles::platform {
 
+/**
+ * How often each isolation mechanism was actuated. The scenario harness
+ * records these counts in its canonical metrics: a controller change
+ * that leaves tails intact but doubles the actuation rate is still a
+ * behavioral regression worth catching.
+ */
+struct ActuationCounts {
+    uint64_t set_cores = 0;     ///< cpuset resizes.
+    uint64_t set_ways = 0;      ///< CAT repartitions.
+    uint64_t set_freq_cap = 0;  ///< DVFS cap changes.
+    uint64_t set_net_ceil = 0;  ///< HTB ceil updates.
+};
+
 /** Binds the Platform interface to hw::Machine + workload models. */
 class SimPlatform : public Platform
 {
@@ -70,6 +83,7 @@ class SimPlatform : public Platform
     double LcTxGbps() override { return machine_.LcTxGbps(); }
     double LinkRateGbps() override { return machine_.config().nic_gbps; }
     void SetBeNetCeilGbps(double gbps) override {
+        ++actuations_.set_net_ceil;
         machine_.SetBeNetCeilGbps(gbps);
     }
 
@@ -83,6 +97,9 @@ class SimPlatform : public Platform
     bool HasBeJob() override { return be_ != nullptr; }
     double BeRate() override;
 
+    /** Cumulative actuator call counts since construction. */
+    const ActuationCounts& actuations() const { return actuations_; }
+
   private:
     void ApplyCpusets();
     void ApplyCat();
@@ -94,6 +111,7 @@ class SimPlatform : public Platform
 
     int be_cores_ = 0;
     int be_ways_ = 0;
+    ActuationCounts actuations_;
 };
 
 }  // namespace heracles::platform

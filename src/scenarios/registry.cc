@@ -1,0 +1,183 @@
+#include "scenarios/registry.h"
+
+#include "sim/log.h"
+
+namespace heracles::scenarios {
+namespace {
+
+ScenarioSpec
+Single(std::string name, std::string description, std::string lc,
+       std::string be, exp::PolicyKind policy, TraceKind trace,
+       double load, double load_high, uint64_t seed)
+{
+    ScenarioSpec s;
+    s.name = std::move(name);
+    s.description = std::move(description);
+    s.topology = Topology::kSingleServer;
+    s.lc = std::move(lc);
+    s.be = std::move(be);
+    s.policy = policy;
+    s.trace = trace;
+    s.load = load;
+    s.load_high = load_high;
+    s.seed = seed;
+    return s;
+}
+
+ScenarioSpec
+Cluster(std::string name, std::string description, bool colocate,
+        bool central, uint64_t seed)
+{
+    ScenarioSpec s;
+    s.name = std::move(name);
+    s.description = std::move(description);
+    s.topology = Topology::kCluster;
+    s.lc = "websearch";
+    s.be = colocate ? "brain+streetview" : "none";
+    s.policy = colocate ? exp::PolicyKind::kHeracles
+                        : exp::PolicyKind::kNoColocation;
+    s.trace = TraceKind::kDiurnal;
+    s.load = 0.20;
+    s.load_high = 0.90;
+    s.leaves = 6;
+    s.colocate = colocate;
+    s.central_controller = central;
+    s.cluster_duration = sim::Minutes(10);
+    s.seed = seed;
+    return s;
+}
+
+std::vector<ScenarioSpec>
+BuildCatalog()
+{
+    using PK = exp::PolicyKind;
+    using TK = TraceKind;
+    std::vector<ScenarioSpec> all;
+
+    // --- websearch colocations: the four policies on one mix -----------
+    all.push_back(Single(
+        "websearch_brain_heracles",
+        "websearch + brain at 50% load under the full controller", "websearch",
+        "brain", PK::kHeracles, TK::kConstant, 0.5, 0.5, 11));
+    all.push_back(Single(
+        "websearch_brain_static",
+        "same mix under a fixed half/half core+LLC split", "websearch",
+        "brain", PK::kStaticPartition, TK::kConstant, 0.5, 0.5, 12));
+    {
+        // The paper's Figure 1 "brain" row: OS-only isolation cannot
+        // protect the tail, so the violation *is* the expected outcome.
+        ScenarioSpec s = Single(
+            "websearch_brain_os_only",
+            "same mix with Linux-only isolation (shared cpus, CFS shares)",
+            "websearch", "brain", PK::kOsOnly, TK::kConstant, 0.5, 0.5,
+            13);
+        s.expect_slo_violation = true;
+        all.push_back(s);
+    }
+    all.push_back(Single(
+        "websearch_baseline",
+        "websearch alone at 70% load (no colocation reference)",
+        "websearch", "none", PK::kNoColocation, TK::kConstant, 0.7, 0.7,
+        14));
+
+    // --- websearch versus antagonists and load shapes --------------------
+    all.push_back(Single(
+        "websearch_streamllc_heracles",
+        "websearch vs the stream-LLC cache antagonist", "websearch",
+        "stream-llc", PK::kHeracles, TK::kConstant, 0.5, 0.5, 15));
+    all.push_back(Single(
+        "websearch_brain_step",
+        "load step 30%->80% mid-measurement: the load safeguard path",
+        "websearch", "brain", PK::kHeracles, TK::kStep, 0.3, 0.8, 16));
+    all.push_back(Single(
+        "websearch_brain_diurnal",
+        "websearch + brain across a 25%-75% diurnal swing", "websearch",
+        "brain", PK::kHeracles, TK::kDiurnal, 0.25, 0.75, 17));
+    all.push_back(Single(
+        "websearch_brain_flashcrowd",
+        "flash crowd to 90%: BE must be evicted within one period",
+        "websearch", "brain", PK::kHeracles, TK::kFlashCrowd, 0.35, 0.90,
+        18));
+
+    // --- ml_cluster: DRAM-heavy LC with super-linear footprint ---------
+    all.push_back(Single(
+        "mlcluster_streetview_heracles",
+        "ml_cluster + DRAM-bound streetview at 60% load", "ml_cluster",
+        "streetview", PK::kHeracles, TK::kConstant, 0.6, 0.6, 19));
+    all.push_back(Single(
+        "mlcluster_streamdram_heracles",
+        "ml_cluster vs the stream-DRAM bandwidth antagonist",
+        "ml_cluster", "stream-dram", PK::kHeracles, TK::kConstant, 0.4,
+        0.4, 20));
+    all.push_back(Single(
+        "mlcluster_brain_diurnal",
+        "ml_cluster + brain across a 20%-80% diurnal swing", "ml_cluster",
+        "brain", PK::kHeracles, TK::kDiurnal, 0.20, 0.80, 21));
+
+    // --- memkeyval: microsecond SLO, network-limited -------------------
+    all.push_back(Single(
+        "memkeyval_iperf_heracles",
+        "memkeyval + iperf: egress shaping defends a us-scale SLO",
+        "memkeyval", "iperf", PK::kHeracles, TK::kConstant, 0.5, 0.5, 22));
+    all.push_back(Single(
+        "memkeyval_cpupwr_flashcrowd",
+        "memkeyval + power virus through a flash crowd to 85%",
+        "memkeyval", "cpu_pwr", PK::kHeracles, TK::kFlashCrowd, 0.30,
+        0.85, 23));
+
+    // --- controller ablation -------------------------------------------
+    {
+        ScenarioSpec s = Single(
+            "websearch_brain_no_bw_model",
+            "ablation A2: controller without the offline LC bw model",
+            "websearch", "brain", PK::kHeracles, TK::kConstant, 0.5, 0.5,
+            24);
+        s.heracles.use_bw_model = false;
+        all.push_back(s);
+    }
+
+    // --- cluster topology ------------------------------------------------
+    all.push_back(Cluster(
+        "cluster_websearch_heracles",
+        "fan-out websearch cluster, brain/streetview on the leaves",
+        /*colocate=*/true, /*central=*/false, 31));
+    all.push_back(Cluster(
+        "cluster_websearch_baseline",
+        "the same cluster without colocation (EMU floor reference)",
+        /*colocate=*/false, /*central=*/false, 32));
+    all.push_back(Cluster(
+        "cluster_websearch_central",
+        "centralized controller converts root slack into leaf targets",
+        /*colocate=*/true, /*central=*/true, 33));
+
+    return all;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>&
+AllScenarios()
+{
+    static const std::vector<ScenarioSpec>* catalog =
+        new std::vector<ScenarioSpec>(BuildCatalog());
+    return *catalog;
+}
+
+const ScenarioSpec*
+FindScenario(const std::string& name)
+{
+    for (const ScenarioSpec& s : AllScenarios()) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+const ScenarioSpec&
+MustFindScenario(const std::string& name)
+{
+    const ScenarioSpec* s = FindScenario(name);
+    if (s == nullptr) HERACLES_FATAL("unknown scenario: " << name);
+    return *s;
+}
+
+}  // namespace heracles::scenarios

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The scenario catalog: every named scenario in the library.
+ *
+ * The catalog spans the evaluation matrix — each LC workload
+ * (websearch, ml_cluster, memkeyval) × BE/antagonist mixes × load
+ * shapes (constant, step, diurnal, flash-crowd) × single-server and
+ * cluster topologies × policy ablations. Benches, examples, the
+ * heracles_sim CLI (--list-scenarios / --scenario NAME) and the golden
+ * regression harness all compose from this one registry instead of
+ * assembling servers by hand.
+ */
+#ifndef HERACLES_SCENARIOS_REGISTRY_H
+#define HERACLES_SCENARIOS_REGISTRY_H
+
+#include "scenarios/scenario.h"
+
+namespace heracles::scenarios {
+
+/** Every registered scenario, in catalog order. */
+const std::vector<ScenarioSpec>& AllScenarios();
+
+/** Looks a scenario up by name; nullptr when unknown. */
+const ScenarioSpec* FindScenario(const std::string& name);
+
+/** FindScenario that aborts with a named diagnostic when unknown — for
+ *  benches/examples hard-wired to a cataloged scenario. */
+const ScenarioSpec& MustFindScenario(const std::string& name);
+
+}  // namespace heracles::scenarios
+
+#endif  // HERACLES_SCENARIOS_REGISTRY_H

@@ -1,0 +1,272 @@
+#include "scenarios/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "runner/pool.h"
+#include "sim/log.h"
+#include "sim/trace.h"
+#include "workloads/antagonists.h"
+
+namespace heracles::scenarios {
+namespace {
+
+workloads::LcParams
+LcByName(const std::string& name)
+{
+    for (const auto& p : workloads::AllLcWorkloads()) {
+        if (p.name == name) return p;
+    }
+    HERACLES_FATAL("unknown LC workload in scenario: " << name);
+}
+
+bool
+HasBe(const ScenarioSpec& spec)
+{
+    return !spec.be.empty() && spec.be != "none" &&
+           spec.topology == Topology::kSingleServer;
+}
+
+sim::Duration
+Scale(sim::Duration d, double factor, sim::Duration floor)
+{
+    return std::max(
+        static_cast<sim::Duration>(static_cast<double>(d) * factor),
+        floor);
+}
+
+/** The load trace a single-server scenario drives its LC app with. */
+std::unique_ptr<sim::LoadTrace>
+MakeTrace(const ScenarioSpec& spec, sim::Duration warmup,
+          sim::Duration measure, uint64_t seed)
+{
+    const sim::Duration total = warmup + measure;
+    switch (spec.trace) {
+      case TraceKind::kConstant:
+        return std::make_unique<sim::ConstantTrace>(spec.load);
+      case TraceKind::kStep:
+        // Warm up and establish colocation at the base load, then step
+        // to the peak halfway through the measurement.
+        return std::make_unique<sim::StepTrace>(
+            std::vector<sim::StepTrace::Step>{
+                {0, spec.load},
+                {warmup + measure / 2, spec.load_high}});
+      case TraceKind::kDiurnal:
+        return std::make_unique<sim::DiurnalTrace>(
+            total, spec.load, spec.load_high, 0.02, seed ^ 0xD1);
+      case TraceKind::kFlashCrowd:
+        // The crowd arrives a quarter into the measurement so both the
+        // eviction and (at full scale) the recovery are observed.
+        return std::make_unique<sim::FlashCrowdTrace>(
+            total, spec.load, spec.load_high,
+            /*onset=*/warmup + measure / 4, /*ramp=*/sim::Seconds(5),
+            /*hold=*/sim::Seconds(25), /*decay=*/sim::Seconds(45),
+            /*jitter=*/0.02, seed ^ 0xF1);
+    }
+    HERACLES_FATAL("unhandled trace kind");
+}
+
+ScenarioMetrics
+RunSingleServer(const ScenarioSpec& spec, const RunOptions& opts)
+{
+    const uint64_t seed = opts.seed.value_or(spec.seed);
+    const sim::Duration warmup =
+        Scale(spec.warmup, opts.time_scale, sim::Seconds(20));
+    const sim::Duration measure =
+        Scale(spec.measure, opts.time_scale, sim::Seconds(30));
+
+    exp::ServerSpec srv;
+    srv.machine = spec.machine;
+    srv.lc = LcByName(spec.lc);
+    srv.SeedFrom(seed, /*salt=*/97);
+    if (HasBe(spec)) {
+        srv.be = workloads::BeProfileByName(spec.machine, spec.be);
+    }
+    srv.policy = spec.policy;
+    srv.heracles = spec.heracles;
+
+    // Alone-rate normalization mirrors exp::Experiment: derived from the
+    // spec's machine so EMU is comparable across seeds of one scenario.
+    double be_alone = 1.0;
+    if (srv.be.has_value() &&
+        spec.policy != exp::PolicyKind::kNoColocation) {
+        be_alone = workloads::MeasureAloneRate(spec.machine, *srv.be);
+    }
+
+    sim::EventQueue queue;
+    exp::ServerSim server(srv, queue);
+    workloads::LcApp& lc = server.lc();
+    workloads::BeTask* be = server.be();
+
+    const auto trace = MakeTrace(spec, warmup, measure, seed);
+    lc.SetTrace(trace.get());
+    lc.Start();
+    server.machine().ResolveNow();
+
+    const uint64_t completed = server.RunMeasured(warmup, measure);
+
+    ScenarioMetrics m;
+    m.scenario = spec.name;
+
+    const sim::Duration worst = lc.WorstReportTail();
+    const double slo = static_cast<double>(srv.lc.slo_latency);
+    m.worst_tail_ms = sim::ToMillis(worst);
+    m.tail_frac_slo = static_cast<double>(worst) / slo;
+    m.slo_attained = m.tail_frac_slo <= 1.0 ? 1.0 : 0.0;
+    m.p95_ms = sim::ToMillis(lc.OverallPercentile(0.95));
+    m.p99_ms = sim::ToMillis(lc.OverallPercentile(0.99));
+
+    const double measure_s = sim::ToSeconds(measure);
+    m.lc_throughput =
+        static_cast<double>(completed) / measure_s / srv.lc.peak_qps;
+    m.be_throughput = be != nullptr ? be->AvgRate() / be_alone : 0.0;
+    m.emu = m.lc_throughput + m.be_throughput;
+
+    const hw::MachineTelemetry t = server.machine().AveragedTelemetry();
+    m.dram_frac = t.dram_frac;
+    m.cpu_util = t.cpu_utilization;
+    m.power_frac_tdp = t.power_frac_tdp;
+
+    if (const ctl::HeraclesController* c = server.controller()) {
+        const ctl::ControllerStats& s = c->stats();
+        m.polls = static_cast<double>(s.polls);
+        m.be_enables = static_cast<double>(s.be_enables);
+        m.be_disables =
+            static_cast<double>(s.be_disables_slack + s.be_disables_load);
+        m.core_shrinks = static_cast<double>(s.core_shrinks);
+    }
+    const platform::ActuationCounts& a = server.platform().actuations();
+    m.act_set_cores = static_cast<double>(a.set_cores);
+    m.act_set_ways = static_cast<double>(a.set_ways);
+    m.act_set_freq_cap = static_cast<double>(a.set_freq_cap);
+    m.act_set_net_ceil = static_cast<double>(a.set_net_ceil);
+
+    m.be_cores = server.platform().BeCores();
+    m.be_ways = server.platform().BeWays();
+
+    server.StopController();
+    return m;
+}
+
+ScenarioMetrics
+RunCluster(const ScenarioSpec& spec, const RunOptions& opts)
+{
+    cluster::ClusterExperiment experiment(ClusterConfigFor(spec, opts));
+    const cluster::ClusterResult r = experiment.Run();
+
+    ScenarioMetrics m;
+    m.scenario = spec.name;
+    m.slo_attained = r.slo_violated ? 0.0 : 1.0;
+    m.tail_frac_slo = r.worst_latency_frac;
+    m.worst_tail_ms =
+        r.worst_latency_frac * sim::ToMillis(r.target);
+    m.emu = r.avg_emu;
+    m.min_emu = r.min_emu;
+
+    m.polls = static_cast<double>(r.polls);
+    m.be_enables = static_cast<double>(r.be_enables);
+    m.be_disables = static_cast<double>(r.be_disables);
+    m.core_shrinks = static_cast<double>(r.core_shrinks);
+    m.act_set_cores = static_cast<double>(r.actuations.set_cores);
+    m.act_set_ways = static_cast<double>(r.actuations.set_ways);
+    m.act_set_freq_cap = static_cast<double>(r.actuations.set_freq_cap);
+    m.act_set_net_ceil = static_cast<double>(r.actuations.set_net_ceil);
+
+    m.root_target_ms = sim::ToMillis(r.target);
+    m.leaf_target_ms = sim::ToMillis(r.leaf_target);
+    return m;
+}
+
+}  // namespace
+
+RunOptions
+RunOptions::Golden()
+{
+    RunOptions o;
+    o.time_scale = 1.0 / 3.0;
+    o.cluster_leaves = 3;
+    return o;
+}
+
+ScenarioMetrics
+RunScenario(const ScenarioSpec& spec, const RunOptions& opts)
+{
+    return spec.topology == Topology::kCluster
+               ? RunCluster(spec, opts)
+               : RunSingleServer(spec, opts);
+}
+
+std::vector<ScenarioMetrics>
+RunScenarios(const std::vector<ScenarioSpec>& specs, const RunOptions& opts,
+             int jobs)
+{
+    // Each scenario is a fully self-contained simulation whose seeds
+    // derive only from (spec, opts), so fanning the catalog across
+    // threads cannot change any record.
+    return runner::ParallelMap(jobs, specs.size(), [&](size_t i) {
+        return RunScenario(specs[i], opts);
+    });
+}
+
+exp::ExperimentConfig
+ExperimentConfigFor(const ScenarioSpec& spec, const RunOptions& opts)
+{
+    HERACLES_CHECK_MSG(spec.topology == Topology::kSingleServer,
+                       "not a single-server scenario: " << spec.name);
+    // ExperimentConfig has no trace: composing a shaped-load scenario
+    // here would silently run constant load instead of the cataloged
+    // shape. Run those via RunScenario (or add trace support) instead.
+    HERACLES_CHECK_MSG(spec.trace == TraceKind::kConstant,
+                       "scenario " << spec.name << " uses a "
+                                   << TraceKindName(spec.trace)
+                                   << " trace, which Experiment cannot "
+                                      "reproduce");
+    exp::ExperimentConfig cfg;
+    cfg.machine = spec.machine;
+    cfg.lc = LcByName(spec.lc);
+    if (HasBe(spec)) {
+        cfg.be = workloads::BeProfileByName(spec.machine, spec.be);
+    }
+    cfg.policy = spec.policy;
+    cfg.heracles = spec.heracles;
+    cfg.warmup = Scale(spec.warmup, opts.time_scale, sim::Seconds(20));
+    cfg.measure = Scale(spec.measure, opts.time_scale, sim::Seconds(30));
+    cfg.seed = opts.seed.value_or(spec.seed);
+    return cfg;
+}
+
+cluster::ClusterConfig
+ClusterConfigFor(const ScenarioSpec& spec, const RunOptions& opts)
+{
+    HERACLES_CHECK_MSG(spec.topology == Topology::kCluster,
+                       "not a cluster scenario: " << spec.name);
+    // The cluster experiment always drives its load_low..load_high
+    // diurnal trace; any other declared shape would silently not match
+    // the scenario's self-description.
+    HERACLES_CHECK_MSG(spec.trace == TraceKind::kDiurnal,
+                       "cluster scenario " << spec.name
+                                           << " must use a diurnal trace");
+    cluster::ClusterConfig cfg;
+    cfg.leaves =
+        opts.cluster_leaves > 0 ? opts.cluster_leaves : spec.leaves;
+    cfg.machine = spec.machine;
+    cfg.lc = LcByName(spec.lc);
+    cfg.heracles = spec.heracles;
+    cfg.colocate = spec.colocate;
+    cfg.load_low = spec.load;
+    cfg.load_high = spec.load_high;
+    cfg.duration =
+        Scale(spec.cluster_duration, opts.time_scale, sim::Seconds(150));
+    cfg.target_run =
+        Scale(cfg.target_run, opts.time_scale, sim::Seconds(75));
+    cfg.run_warmup =
+        Scale(cfg.run_warmup, opts.time_scale, sim::Seconds(40));
+    cfg.central_controller = spec.central_controller;
+    cfg.seed = opts.seed.value_or(spec.seed);
+    // The coupled root/leaf simulation is single-threaded; keep the
+    // assembly serial too so nested scenario fan-out never stacks pools.
+    cfg.jobs = 1;
+    return cfg;
+}
+
+}  // namespace heracles::scenarios

@@ -1,0 +1,246 @@
+#include "scenarios/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace heracles::scenarios {
+
+std::string
+TopologyName(Topology t)
+{
+    switch (t) {
+      case Topology::kSingleServer: return "single-server";
+      case Topology::kCluster: return "cluster";
+    }
+    return "?";
+}
+
+std::string
+TraceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::kConstant: return "constant";
+      case TraceKind::kStep: return "step";
+      case TraceKind::kDiurnal: return "diurnal";
+      case TraceKind::kFlashCrowd: return "flash-crowd";
+    }
+    return "?";
+}
+
+std::vector<std::pair<std::string, double>>
+ScenarioMetrics::Kv() const
+{
+    return {
+        {"slo_attained", slo_attained},
+        {"tail_frac_slo", tail_frac_slo},
+        {"worst_tail_ms", worst_tail_ms},
+        {"p95_ms", p95_ms},
+        {"p99_ms", p99_ms},
+        {"lc_throughput", lc_throughput},
+        {"be_throughput", be_throughput},
+        {"emu", emu},
+        {"min_emu", min_emu},
+        {"dram_frac", dram_frac},
+        {"cpu_util", cpu_util},
+        {"power_frac_tdp", power_frac_tdp},
+        {"polls", polls},
+        {"be_enables", be_enables},
+        {"be_disables", be_disables},
+        {"core_shrinks", core_shrinks},
+        {"act_set_cores", act_set_cores},
+        {"act_set_ways", act_set_ways},
+        {"act_set_freq_cap", act_set_freq_cap},
+        {"act_set_net_ceil", act_set_net_ceil},
+        {"be_cores", be_cores},
+        {"be_ways", be_ways},
+        {"root_target_ms", root_target_ms},
+        {"leaf_target_ms", leaf_target_ms},
+    };
+}
+
+bool
+ScenarioMetrics::ExactlyEquals(const ScenarioMetrics& other) const
+{
+    return scenario == other.scenario && Kv() == other.Kv();
+}
+
+namespace {
+
+/** Shortest decimal form that parses back to exactly the same double. */
+std::string
+FormatExact(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Prefer the compact form when it round-trips (keeps files legible).
+    char compact[64];
+    std::snprintf(compact, sizeof compact, "%.9g", v);
+    if (std::strtod(compact, nullptr) == v) return compact;
+    return buf;
+}
+
+/** Writes @p value into the field matching @p key; false if unknown. */
+bool
+AssignMetric(ScenarioMetrics* m, const std::string& key, double value)
+{
+    struct Field {
+        const char* key;
+        double ScenarioMetrics::* member;
+    };
+    static const Field kFields[] = {
+        {"slo_attained", &ScenarioMetrics::slo_attained},
+        {"tail_frac_slo", &ScenarioMetrics::tail_frac_slo},
+        {"worst_tail_ms", &ScenarioMetrics::worst_tail_ms},
+        {"p95_ms", &ScenarioMetrics::p95_ms},
+        {"p99_ms", &ScenarioMetrics::p99_ms},
+        {"lc_throughput", &ScenarioMetrics::lc_throughput},
+        {"be_throughput", &ScenarioMetrics::be_throughput},
+        {"emu", &ScenarioMetrics::emu},
+        {"min_emu", &ScenarioMetrics::min_emu},
+        {"dram_frac", &ScenarioMetrics::dram_frac},
+        {"cpu_util", &ScenarioMetrics::cpu_util},
+        {"power_frac_tdp", &ScenarioMetrics::power_frac_tdp},
+        {"polls", &ScenarioMetrics::polls},
+        {"be_enables", &ScenarioMetrics::be_enables},
+        {"be_disables", &ScenarioMetrics::be_disables},
+        {"core_shrinks", &ScenarioMetrics::core_shrinks},
+        {"act_set_cores", &ScenarioMetrics::act_set_cores},
+        {"act_set_ways", &ScenarioMetrics::act_set_ways},
+        {"act_set_freq_cap", &ScenarioMetrics::act_set_freq_cap},
+        {"act_set_net_ceil", &ScenarioMetrics::act_set_net_ceil},
+        {"be_cores", &ScenarioMetrics::be_cores},
+        {"be_ways", &ScenarioMetrics::be_ways},
+        {"root_target_ms", &ScenarioMetrics::root_target_ms},
+        {"leaf_target_ms", &ScenarioMetrics::leaf_target_ms},
+    };
+    for (const Field& f : kFields) {
+        if (key == f.key) {
+            m->*(f.member) = value;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Extracts the string value of `"key": "..."`; empty when missing. */
+std::string
+FindStringValue(const std::string& json, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\"";
+    size_t pos = json.find(needle);
+    if (pos == std::string::npos) return "";
+    pos = json.find(':', pos + needle.size());
+    if (pos == std::string::npos) return "";
+    pos = json.find('"', pos);
+    if (pos == std::string::npos) return "";
+    const size_t end = json.find('"', pos + 1);
+    if (end == std::string::npos) return "";
+    return json.substr(pos + 1, end - pos - 1);
+}
+
+/** Extracts the numeric value of `"key": <number>`; false when absent. */
+bool
+FindNumberValue(const std::string& json, const std::string& key,
+                double* out)
+{
+    const std::string needle = "\"" + key + "\"";
+    size_t pos = json.find(needle);
+    if (pos == std::string::npos) return false;
+    pos = json.find(':', pos + needle.size());
+    if (pos == std::string::npos) return false;
+    const char* start = json.c_str() + pos + 1;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    *out = v;
+    return true;
+}
+
+}  // namespace
+
+std::string
+MetricsToJson(const ScenarioMetrics& m)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": 1,\n";
+    os << "  \"scenario\": \"" << m.scenario << "\",\n";
+    os << "  \"metrics\": {\n";
+    const auto kv = m.Kv();
+    for (size_t i = 0; i < kv.size(); ++i) {
+        os << "    \"" << kv[i].first << "\": " << FormatExact(kv[i].second)
+           << (i + 1 < kv.size() ? "," : "") << "\n";
+    }
+    os << "  }\n";
+    os << "}\n";
+    return os.str();
+}
+
+bool
+MetricsFromJson(const std::string& json, ScenarioMetrics* out)
+{
+    ScenarioMetrics m;
+    m.scenario = FindStringValue(json, "scenario");
+    if (m.scenario.empty()) return false;
+    // Metric keys are unique across the whole document, so a flat scan
+    // is unambiguous for the subset MetricsToJson emits. Every known key
+    // must be present: a baseline predating a newly added metric is
+    // stale and must be regenerated, not silently zero-filled.
+    for (const auto& [key, unused] : m.Kv()) {
+        (void)unused;
+        double v = 0.0;
+        if (!FindNumberValue(json, key, &v)) return false;
+        if (!AssignMetric(&m, key, v)) return false;
+    }
+    *out = m;
+    return true;
+}
+
+Tolerance
+ToleranceFor(const std::string& key)
+{
+    // slo_attained is a verdict, not a measurement: exact.
+    if (key == "slo_attained") return {0.0, 0.0};
+    // Controller activity counts: deterministic on one machine, but a
+    // couple of control decisions may flip across compilers/libms.
+    if (key == "polls" || key == "be_enables" || key == "be_disables" ||
+        key == "core_shrinks" || key.rfind("act_", 0) == 0) {
+        return {0.15, 3.0};
+    }
+    // Final allocations move in whole cores/ways.
+    if (key == "be_cores" || key == "be_ways") return {0.0, 2.0};
+    // Continuous measurements (latency, throughput, telemetry).
+    return {0.10, 0.02};
+}
+
+bool
+WithinTolerance(const ScenarioMetrics& got, const ScenarioMetrics& golden,
+                std::vector<std::string>* mismatches)
+{
+    bool ok = true;
+    const auto gkv = got.Kv();
+    const auto bkv = golden.Kv();
+    for (size_t i = 0; i < gkv.size(); ++i) {
+        const auto& [key, have] = gkv[i];
+        const double want = bkv[i].second;
+        const Tolerance tol = ToleranceFor(key);
+        const double allowed =
+            std::max(tol.abs, tol.rel * std::fabs(want));
+        if (std::fabs(have - want) <= allowed) continue;
+        ok = false;
+        if (mismatches != nullptr) {
+            char line[160];
+            std::snprintf(line, sizeof line,
+                          "%s.%s: got %.6g, golden %.6g (allowed +/-%.4g)",
+                          got.scenario.c_str(), key.c_str(), have, want,
+                          allowed);
+            mismatches->push_back(line);
+        }
+    }
+    return ok;
+}
+
+}  // namespace heracles::scenarios

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Scenario catalog types: self-describing end-to-end colocation
+ * scenarios and the canonical metrics record every scenario emits.
+ *
+ * A ScenarioSpec names one point of the evaluation matrix — an LC
+ * workload × a BE/antagonist mix × a load shape × a topology × an
+ * isolation policy — with everything needed to reproduce it from its
+ * name and a seed. Scenarios are the unit of regression: the golden
+ * harness (tests/golden_test.cc) runs reduced-scale variants of every
+ * registered scenario and pins the resulting ScenarioMetrics against
+ * checked-in baselines with per-metric tolerances.
+ */
+#ifndef HERACLES_SCENARIOS_SCENARIO_H
+#define HERACLES_SCENARIOS_SCENARIO_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/server_sim.h"
+#include "heracles/config.h"
+#include "hw/config.h"
+#include "sim/time.h"
+
+namespace heracles::scenarios {
+
+/** Where the scenario runs. */
+enum class Topology {
+    kSingleServer,  ///< One server, one LC app, optional BE job.
+    kCluster,       ///< Root/leaf fan-out cluster (Section 5.3).
+};
+
+/** Load shape driving the LC workload. */
+enum class TraceKind {
+    kConstant,    ///< Fixed load forever.
+    kStep,        ///< Base load, then a step to the peak mid-measurement.
+    kDiurnal,     ///< Valley-to-peak swing (the paper's 12 h trace).
+    kFlashCrowd,  ///< Sudden burst: steep ramp, plateau, decay.
+};
+
+std::string TopologyName(Topology t);
+std::string TraceKindName(TraceKind k);
+
+/**
+ * Blueprint of one end-to-end scenario. Everything, including the
+ * machine and the controller tunables, is part of the spec so two runs
+ * of the same (spec, seed, scale) are bit-identical.
+ */
+struct ScenarioSpec {
+    std::string name;
+    std::string description;
+
+    Topology topology = Topology::kSingleServer;
+    hw::MachineConfig machine;
+
+    /** LC workload name resolved via workloads::AllLcWorkloads(). */
+    std::string lc = "websearch";
+    /** BE job name via workloads::BeProfileByName(); "none" = no BE. */
+    std::string be = "brain";
+    exp::PolicyKind policy = exp::PolicyKind::kHeracles;
+    ctl::HeraclesConfig heracles;
+
+    TraceKind trace = TraceKind::kConstant;
+    /** Constant level, or the base of a step/diurnal/flash trace. */
+    double load = 0.5;
+    /** Peak load of step/diurnal/flash traces (unused for constant). */
+    double load_high = 0.8;
+
+    // --- Single-server phases (scaled by RunOptions::time_scale) ---------
+    sim::Duration warmup = sim::Seconds(90);
+    sim::Duration measure = sim::Seconds(120);
+
+    // --- Cluster shape ---------------------------------------------------
+    int leaves = 6;
+    bool colocate = true;
+    bool central_controller = false;
+    sim::Duration cluster_duration = sim::Minutes(10);
+
+    /**
+     * True for scenarios whose *point* is an SLO violation (e.g. the
+     * os-only ablation). The CLI exit code flags only unexpected
+     * violations; the golden baseline still pins the violating record.
+     */
+    bool expect_slo_violation = false;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * The canonical structured metrics record of one scenario run. Every
+ * field is a double so the record round-trips through JSON exactly and
+ * compares field-by-field; counts are stored as exact integers in
+ * double (all are far below 2^53).
+ *
+ * Single-server and cluster scenarios populate different subsets (a
+ * cluster run has no single-server telemetry, a single-server run has
+ * no root target); unused fields stay zero and still participate in
+ * golden comparison, pinning them at zero.
+ */
+struct ScenarioMetrics {
+    std::string scenario;
+
+    // --- SLO / latency ---------------------------------------------------
+    double slo_attained = 0.0;   ///< 1.0 when no SLO violation.
+    double tail_frac_slo = 0.0;  ///< Worst tail / target (root for cluster).
+    double worst_tail_ms = 0.0;
+    double p95_ms = 0.0;  ///< Overall p95 across measurement (single-server).
+    double p99_ms = 0.0;
+
+    // --- Throughput / utilization ---------------------------------------
+    double lc_throughput = 0.0;  ///< Served fraction of LC peak.
+    double be_throughput = 0.0;  ///< Normalized to the BE job running alone.
+    double emu = 0.0;            ///< Effective Machine Utilization (mean).
+    double min_emu = 0.0;        ///< Worst window (cluster only).
+    double dram_frac = 0.0;
+    double cpu_util = 0.0;
+    double power_frac_tdp = 0.0;
+
+    // --- Controller activity ---------------------------------------------
+    double polls = 0.0;
+    double be_enables = 0.0;
+    double be_disables = 0.0;
+    double core_shrinks = 0.0;
+    double act_set_cores = 0.0;
+    double act_set_ways = 0.0;
+    double act_set_freq_cap = 0.0;
+    double act_set_net_ceil = 0.0;
+
+    // --- Final state -------------------------------------------------------
+    double be_cores = 0.0;
+    double be_ways = 0.0;
+
+    // --- Cluster targets ---------------------------------------------------
+    double root_target_ms = 0.0;
+    double leaf_target_ms = 0.0;
+
+    /** All metrics as ordered (key, value) pairs — the JSON layout. */
+    std::vector<std::pair<std::string, double>> Kv() const;
+
+    /** Bit-exact equality of every field (the jobs-invariance check). */
+    bool ExactlyEquals(const ScenarioMetrics& other) const;
+};
+
+/** Serializes a metrics record as pretty-printed JSON (round-trips). */
+std::string MetricsToJson(const ScenarioMetrics& m);
+
+/**
+ * Parses JSON produced by MetricsToJson. Returns false when the text is
+ * malformed or any expected metric key is missing (e.g. a baseline from
+ * before a new metric was added — regenerate with --update-golden).
+ */
+bool MetricsFromJson(const std::string& json, ScenarioMetrics* out);
+
+/** Per-metric comparison tolerance: pass when
+ *  |got - golden| <= max(abs, rel * |golden|). */
+struct Tolerance {
+    double rel = 0.0;
+    double abs = 0.0;
+};
+
+/** The tolerance assigned to a metric key (counts are looser than
+ *  latencies; slo_attained is exact). */
+Tolerance ToleranceFor(const std::string& key);
+
+/**
+ * Compares a run against its golden baseline using per-metric
+ * tolerances. Returns true when every metric passes; otherwise appends
+ * one human-readable line per failing metric to @p mismatches.
+ */
+bool WithinTolerance(const ScenarioMetrics& got,
+                     const ScenarioMetrics& golden,
+                     std::vector<std::string>* mismatches = nullptr);
+
+}  // namespace heracles::scenarios
+
+#endif  // HERACLES_SCENARIOS_SCENARIO_H

@@ -102,6 +102,9 @@ class WindowedTailTracker
     /** Tail over *all* samples ever recorded. */
     Duration OverallTail() const { return all_.Percentile(percentile_); }
 
+    /** Any percentile over *all* samples ever recorded (p in [0,1]). */
+    Duration OverallPercentile(double p) const { return all_.Percentile(p); }
+
     /** Tail of the in-progress (partial) window; 0 if empty. */
     Duration CurrentWindowTail() const {
         return current_.Percentile(percentile_);

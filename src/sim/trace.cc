@@ -69,6 +69,56 @@ DiurnalTrace::LoadAt(SimTime t) const
     return std::clamp(base + noise_[minute], 0.0, 1.0);
 }
 
+FlashCrowdTrace::FlashCrowdTrace(Duration length, double base, double peak,
+                                 Duration onset, Duration ramp,
+                                 Duration hold, Duration decay,
+                                 double jitter, uint64_t seed)
+    : length_(length),
+      base_(base),
+      peak_(peak),
+      jitter_(jitter),
+      onset_(onset),
+      ramp_(ramp),
+      hold_(hold),
+      decay_(decay)
+{
+    HERACLES_CHECK(length > 0 && onset >= 0 && ramp > 0 && decay > 0);
+    HERACLES_CHECK(base >= 0.0 && peak <= 1.0 && base < peak);
+    Rng rng(seed);
+    const size_t seconds = static_cast<size_t>(ToSeconds(length)) + 2;
+    noise_.reserve(seconds);
+    double n = 0.0;
+    for (size_t i = 0; i < seconds; ++i) {
+        n = std::clamp(n + rng.Uniform(-jitter_, jitter_), -jitter_,
+                       jitter_);
+        noise_.push_back(n);
+    }
+}
+
+double
+FlashCrowdTrace::LoadAt(SimTime t) const
+{
+    double level;
+    if (t < onset_) {
+        level = base_;
+    } else if (t < onset_ + ramp_) {
+        const double frac = static_cast<double>(t - onset_) /
+                            static_cast<double>(ramp_);
+        level = base_ + (peak_ - base_) * frac;
+    } else if (t < onset_ + ramp_ + hold_) {
+        level = peak_;
+    } else {
+        const double since =
+            ToSeconds(t - onset_ - ramp_ - hold_);
+        const double tau = ToSeconds(decay_) / 3.0;
+        level = base_ + (peak_ - base_) * std::exp(-since / tau);
+    }
+    const size_t second = std::min(
+        noise_.size() - 1,
+        static_cast<size_t>(std::max<double>(ToSeconds(t), 0.0)));
+    return std::clamp(level + noise_[second], 0.0, 1.0);
+}
+
 std::unique_ptr<CsvTrace>
 CsvTrace::FromString(const std::string& csv)
 {

@@ -84,6 +84,35 @@ class DiurnalTrace : public LoadTrace
 };
 
 /**
+ * Flash-crowd (bursty) trace: steady @p base load until the crowd
+ * arrives at @p onset, a steep linear ramp to @p peak over @p ramp,
+ * a plateau of @p hold, then an exponential decay back towards the base
+ * (time constant decay/3, so the burst is ~95% drained after @p decay).
+ * A clipped per-second random-walk jitter models the arrival noise of a
+ * real crowd. This is the shape the paper's load safeguards exist for:
+ * load crossing the disable threshold within one controller period.
+ */
+class FlashCrowdTrace : public LoadTrace
+{
+  public:
+    FlashCrowdTrace(Duration length, double base, double peak,
+                    Duration onset, Duration ramp = Seconds(5),
+                    Duration hold = Seconds(25),
+                    Duration decay = Seconds(45), double jitter = 0.02,
+                    uint64_t seed = 42);
+
+    double LoadAt(SimTime t) const override;
+    Duration Length() const override { return length_; }
+
+  private:
+    Duration length_;
+    double base_, peak_, jitter_;
+    SimTime onset_;
+    Duration ramp_, hold_, decay_;
+    std::vector<double> noise_;  // precomputed per-second jitter
+};
+
+/**
  * Plays back "seconds,load" CSV rows (load either fraction or percent —
  * values > 1.5 are treated as percent). Linear interpolation between rows.
  */

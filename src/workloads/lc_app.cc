@@ -393,6 +393,12 @@ LcApp::LastReportTail() const
     return report_tail_.LastWindowTail();
 }
 
+sim::Duration
+LcApp::OverallPercentile(double p) const
+{
+    return report_tail_.OverallPercentile(p);
+}
+
 void
 LcApp::SetSloLatency(sim::Duration slo)
 {

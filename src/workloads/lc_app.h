@@ -155,6 +155,13 @@ class LcApp : public hw::ResourceClient
     /** Tail of the most recent completed report window. */
     sim::Duration LastReportTail() const;
 
+    /**
+     * Any percentile over every request completed since the last
+     * ResetStats (p in [0,1]) — the scenario harness records p95/p99
+     * side by side regardless of the workload's SLO percentile.
+     */
+    sim::Duration OverallPercentile(double p) const;
+
     /** Measured arrival rate (QPS), exponentially smoothed over ~3 s. */
     double MeasuredQps() const { return qps_ewma_; }
 

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Golden-metrics regression harness over the scenario catalog.
+ *
+ * Every registered scenario runs at reduced scale (RunOptions::Golden())
+ * and its canonical metrics record is pinned against a checked-in
+ * baseline in tests/golden/<name>.json with per-metric tolerances. The
+ * harness also asserts the catalog's structural guarantees: at least 12
+ * scenarios spanning the workload/trace/policy/topology matrix, records
+ * bit-identical between --jobs 1 and --jobs 4 fan-out, and exact
+ * reproducibility from a seed.
+ *
+ * After an *intentional* behavior change, regenerate the baselines:
+ *
+ *   build/golden_test --update-golden
+ *
+ * and commit the tests/golden/ diff alongside the change. On an
+ * unchanged tree, regeneration must produce zero diff.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "scenarios/registry.h"
+#include "scenarios/runner.h"
+
+namespace heracles::scenarios {
+namespace {
+
+bool g_update_golden = false;
+
+std::string
+GoldenPath(const std::string& scenario)
+{
+    return std::string(HERACLES_GOLDEN_DIR) + "/" + scenario + ".json";
+}
+
+/**
+ * The catalog's reduced-scale results for a given fan-out width, run
+ * once per width and cached: the baseline comparison and the
+ * jobs-invariance check share the same records.
+ */
+const std::vector<ScenarioMetrics>&
+ResultsFor(int jobs)
+{
+    static std::map<int, std::vector<ScenarioMetrics>> cache;
+    auto it = cache.find(jobs);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(jobs, RunScenarios(AllScenarios(),
+                                             RunOptions::Golden(), jobs))
+                 .first;
+    }
+    return it->second;
+}
+
+TEST(Catalog, SpansTheEvaluationMatrix)
+{
+    const auto& all = AllScenarios();
+    EXPECT_GE(all.size(), 12u);
+
+    std::set<std::string> names, lcs, policies;
+    std::set<Topology> topologies;
+    std::set<TraceKind> traces;
+    for (const auto& s : all) {
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate scenario name: " << s.name;
+        EXPECT_FALSE(s.description.empty()) << s.name;
+        lcs.insert(s.lc);
+        policies.insert(exp::PolicyName(s.policy));
+        topologies.insert(s.topology);
+        traces.insert(s.trace);
+    }
+    EXPECT_EQ(lcs.size(), 3u) << "catalog must cover all LC workloads";
+    EXPECT_GE(policies.size(), 3u);
+    EXPECT_EQ(topologies.size(), 2u)
+        << "catalog must cover single-server and cluster";
+    EXPECT_EQ(traces.size(), 4u)
+        << "catalog must cover constant, step, diurnal and flash-crowd";
+}
+
+TEST(Catalog, LookupByName)
+{
+    const ScenarioSpec* s = FindScenario("websearch_brain_heracles");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->lc, "websearch");
+    EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST(Golden, MatchesBaselines)
+{
+    const auto& results = ResultsFor(4);
+    ASSERT_EQ(results.size(), AllScenarios().size());
+
+    if (g_update_golden) {
+        for (const auto& m : results) {
+            std::ofstream out(GoldenPath(m.scenario));
+            ASSERT_TRUE(out.good())
+                << "cannot write " << GoldenPath(m.scenario);
+            out << MetricsToJson(m);
+        }
+        std::printf("[golden] wrote %zu baselines to %s\n", results.size(),
+                    HERACLES_GOLDEN_DIR);
+        return;
+    }
+
+    for (const auto& m : results) {
+        std::ifstream in(GoldenPath(m.scenario));
+        ASSERT_TRUE(in.good())
+            << "missing baseline " << GoldenPath(m.scenario)
+            << " — run `golden_test --update-golden` and commit it";
+        std::stringstream buf;
+        buf << in.rdbuf();
+
+        ScenarioMetrics golden;
+        ASSERT_TRUE(MetricsFromJson(buf.str(), &golden))
+            << "stale or malformed baseline " << GoldenPath(m.scenario)
+            << " — regenerate with `golden_test --update-golden`";
+        EXPECT_EQ(golden.scenario, m.scenario);
+
+        std::vector<std::string> mismatches;
+        if (!WithinTolerance(m, golden, &mismatches)) {
+            for (const auto& line : mismatches) {
+                ADD_FAILURE() << line;
+            }
+        }
+    }
+}
+
+TEST(Golden, ParallelFanOutIsBitIdentical)
+{
+    const auto& serial = ResultsFor(1);
+    const auto& parallel = ResultsFor(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i].ExactlyEquals(parallel[i]))
+            << "jobs=4 diverged from jobs=1 for " << serial[i].scenario;
+    }
+}
+
+TEST(Golden, SameSeedSameMetrics)
+{
+    // Any run is exactly reproducible from its command line: the same
+    // (scenario, scale, seed) triple yields the same record bit for bit,
+    // and a different seed yields a genuinely different simulation.
+    const ScenarioSpec* spec = FindScenario("websearch_brain_heracles");
+    ASSERT_NE(spec, nullptr);
+    RunOptions opts = RunOptions::Golden();
+    opts.seed = 1234;
+    const ScenarioMetrics a = RunScenario(*spec, opts);
+    const ScenarioMetrics b = RunScenario(*spec, opts);
+    EXPECT_TRUE(a.ExactlyEquals(b));
+
+    opts.seed = 4321;
+    const ScenarioMetrics c = RunScenario(*spec, opts);
+    EXPECT_FALSE(a.ExactlyEquals(c));
+}
+
+TEST(Golden, JsonRoundTripsExactly)
+{
+    const auto& results = ResultsFor(4);
+    ASSERT_FALSE(results.empty());
+    for (const auto& m : results) {
+        ScenarioMetrics back;
+        ASSERT_TRUE(MetricsFromJson(MetricsToJson(m), &back)) << m.scenario;
+        EXPECT_TRUE(back.ExactlyEquals(m)) << m.scenario;
+    }
+}
+
+}  // namespace
+}  // namespace heracles::scenarios
+
+int
+main(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden") {
+            heracles::scenarios::g_update_golden = true;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

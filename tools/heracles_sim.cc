@@ -12,11 +12,20 @@
  *                [--load 0.5] [--warmup-s 150] [--measure-s 120]
  *                [--seed 1]
  *                [--sweep 0.1,0.3,0.5|paper] [--jobs N]
+ *                [--list-scenarios] [--scenario NAME|all]
+ *                [--scale F] [--json]
  *
  * With --sweep, runs every listed load (or the paper's 5%..95% grid)
  * instead of a single point, fanning the independent load points across
  * --jobs worker threads (default: hardware concurrency). Parallel
  * results are bit-identical to --jobs 1.
+ *
+ * Scenario mode composes from the catalog (src/scenarios/registry.cc)
+ * instead of the ad-hoc flags: --list-scenarios prints the catalog,
+ * --scenario NAME runs one end-to-end scenario (--scale shrinks its
+ * phases, --seed makes any run reproducible from the command line,
+ * --json emits the canonical metrics record), and --scenario all fans
+ * the whole catalog across --jobs threads.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +36,8 @@
 #include "exp/experiment.h"
 #include "exp/reporting.h"
 #include "runner/pool.h"
+#include "scenarios/registry.h"
+#include "scenarios/runner.h"
 
 using namespace heracles;
 
@@ -39,9 +50,111 @@ Usage(const char* argv0)
                  "usage: %s [--lc NAME] [--be NAME|none] "
                  "[--policy NAME] [--load F] [--warmup-s S] "
                  "[--measure-s S] [--seed N] "
-                 "[--sweep F,F,...|paper] [--jobs N]\n",
+                 "[--sweep F,F,...|paper] [--jobs N] "
+                 "[--list-scenarios] [--scenario NAME|all] "
+                 "[--scale F] [--json]\n",
                  argv0);
     std::exit(2);
+}
+
+/** Prints the scenario catalog as a table. */
+void
+ListScenarios()
+{
+    exp::Table table({"name", "topology", "lc", "be", "policy", "trace",
+                      "load", "description"});
+    for (const auto& s : scenarios::AllScenarios()) {
+        char load[32];
+        if (s.trace == scenarios::TraceKind::kConstant) {
+            std::snprintf(load, sizeof load, "%.0f%%", s.load * 100);
+        } else {
+            std::snprintf(load, sizeof load, "%.0f-%.0f%%", s.load * 100,
+                          s.load_high * 100);
+        }
+        table.AddRow({s.name, scenarios::TopologyName(s.topology), s.lc,
+                      s.be, exp::PolicyName(s.policy),
+                      scenarios::TraceKindName(s.trace), load,
+                      s.description});
+    }
+    table.Print();
+}
+
+/** Prints one metrics record as a readable two-column table. */
+void
+PrintMetrics(const scenarios::ScenarioMetrics& m)
+{
+    std::printf("scenario %s:\n", m.scenario.c_str());
+    exp::Table table({"metric", "value"});
+    for (const auto& [key, value] : m.Kv()) {
+        table.AddRow({key, exp::FormatDouble(value, 4)});
+    }
+    table.Print();
+}
+
+/** True when the run's SLO outcome is a problem (violations are fine —
+ *  expected, even — for ablation scenarios like os-only). */
+bool
+UnexpectedViolation(const scenarios::ScenarioSpec& spec,
+                    const scenarios::ScenarioMetrics& m)
+{
+    return m.slo_attained == 0.0 && !spec.expect_slo_violation;
+}
+
+/** Runs --scenario NAME|all; returns the process exit code. */
+int
+RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
+                int jobs, bool json)
+{
+    if (name == "all") {
+        const auto& specs = scenarios::AllScenarios();
+        const auto results = scenarios::RunScenarios(specs, opts, jobs);
+        if (json) {
+            // One JSON array so the output parses as a single document.
+            std::printf("[\n");
+            for (size_t i = 0; i < results.size(); ++i) {
+                std::string one = scenarios::MetricsToJson(results[i]);
+                if (!one.empty() && one.back() == '\n') one.pop_back();
+                std::printf("%s%s\n", one.c_str(),
+                            i + 1 < results.size() ? "," : "");
+            }
+            std::printf("]\n");
+        } else {
+            exp::Table table({"scenario", "tail (% target)", "SLO ok",
+                              "EMU", "BE disables"});
+            for (size_t i = 0; i < results.size(); ++i) {
+                const auto& m = results[i];
+                table.AddRow(
+                    {m.scenario, exp::FormatTailFrac(m.tail_frac_slo),
+                     m.slo_attained > 0.0
+                         ? "yes"
+                         : (specs[i].expect_slo_violation
+                                ? "violated (expected)"
+                                : "VIOLATED"),
+                     exp::FormatPct(m.emu),
+                     exp::FormatDouble(m.be_disables, 0)});
+            }
+            table.Print();
+        }
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (UnexpectedViolation(specs[i], results[i])) return 1;
+        }
+        return 0;
+    }
+
+    const scenarios::ScenarioSpec* spec = scenarios::FindScenario(name);
+    if (spec == nullptr) {
+        std::fprintf(stderr,
+                     "unknown scenario: %s (try --list-scenarios)\n",
+                     name.c_str());
+        return 2;
+    }
+    const auto m = scenarios::RunScenario(*spec, opts);
+    if (json) {
+        std::fputs(scenarios::MetricsToJson(m).c_str(), stdout);
+    } else {
+        PrintMetrics(m);
+    }
+    return UnexpectedViolation(*spec, m) ? 1 : 0;
 }
 
 /** Parses "0.1,0.3,0.5" (or "paper") into load fractions. */
@@ -99,7 +212,13 @@ main(int argc, char** argv)
     double load = 0.5;
     double warmup_s = 150.0, measure_s = 120.0;
     uint64_t seed = 1;
+    bool seed_given = false;
+    bool adhoc_given = false;  // any --lc/--be/--policy/--load/... flag
     std::string sweep_spec;
+    std::string scenario_name;
+    double scale = 1.0;
+    bool scale_given = false;
+    bool json = false;
     int jobs = runner::DefaultJobs();
 
     for (int i = 1; i < argc; ++i) {
@@ -107,30 +226,68 @@ main(int argc, char** argv)
             if (i + 1 >= argc) Usage(argv[0]);
             return argv[++i];
         };
+        auto adhoc_next = [&]() -> const char* {
+            adhoc_given = true;
+            return next();
+        };
         if (!std::strcmp(argv[i], "--lc")) {
-            lc_name = next();
+            lc_name = adhoc_next();
         } else if (!std::strcmp(argv[i], "--be")) {
-            be_name = next();
+            be_name = adhoc_next();
         } else if (!std::strcmp(argv[i], "--policy")) {
-            policy_name = next();
+            policy_name = adhoc_next();
         } else if (!std::strcmp(argv[i], "--load")) {
-            load = std::atof(next());
+            load = std::atof(adhoc_next());
         } else if (!std::strcmp(argv[i], "--warmup-s")) {
-            warmup_s = std::atof(next());
+            warmup_s = std::atof(adhoc_next());
         } else if (!std::strcmp(argv[i], "--measure-s")) {
-            measure_s = std::atof(next());
+            measure_s = std::atof(adhoc_next());
         } else if (!std::strcmp(argv[i], "--seed")) {
             seed = std::strtoull(next(), nullptr, 10);
+            seed_given = true;
         } else if (!std::strcmp(argv[i], "--sweep")) {
-            sweep_spec = next();
+            sweep_spec = adhoc_next();
         } else if (!std::strcmp(argv[i], "--jobs")) {
             jobs = std::atoi(next());
             if (jobs <= 0) Usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--list-scenarios")) {
+            ListScenarios();
+            return 0;
+        } else if (!std::strcmp(argv[i], "--scenario")) {
+            scenario_name = next();
+        } else if (!std::strcmp(argv[i], "--scale")) {
+            scale = std::atof(next());
+            scale_given = true;
+            if (scale <= 0.0) Usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json = true;
         } else {
             Usage(argv[0]);
         }
     }
     if (load <= 0.0 || load > 1.0) Usage(argv[0]);
+
+    if (scenario_name.empty() && (scale_given || json)) {
+        std::fprintf(stderr,
+                     "--scale/--json only apply to --scenario runs\n");
+        return 2;
+    }
+    if (!scenario_name.empty()) {
+        if (adhoc_given) {
+            // A cataloged scenario fixes its own workload mix and
+            // phases; silently ignoring these flags would misrepresent
+            // what actually ran.
+            std::fprintf(stderr,
+                         "--scenario cannot be combined with ad-hoc "
+                         "flags (--lc/--be/--policy/--load/--warmup-s/"
+                         "--measure-s/--sweep); use --scale/--seed\n");
+            return 2;
+        }
+        scenarios::RunOptions opts;
+        opts.time_scale = scale;
+        if (seed_given) opts.seed = seed;
+        return RunScenarioMode(scenario_name, opts, jobs, json);
+    }
 
     exp::ExperimentConfig cfg;
     cfg.lc = ParseLc(lc_name);
