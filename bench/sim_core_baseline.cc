@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulation-core microbenchmark: pooled vs. legacy event queue plus
+ * streaming-tail stats, emitted as JSON so the core's throughput
+ * trajectory is tracked across PRs (see docs/performance.md).
+ *
+ * Usage: sim_core_baseline [--events N] [--quick] [--out FILE]
+ *   --events  total fires per queue implementation (default 2000000)
+ *   --quick   smoke preset (200000 events) for CI and local sanity runs
+ *   --out     also write the JSON record to FILE
+ *
+ * Exit code 1 when the pooled queue fails to beat the legacy queue —
+ * the regression signal CI acts on.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim_core_bench.h"
+
+HERACLES_BENCH_DEFINE_ALLOC_COUNTER()
+
+using namespace heracles;
+
+int
+main(int argc, char** argv)
+{
+    uint64_t events = 2000000;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--events") && i + 1 < argc) {
+            events = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            events = 200000;
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--events N] [--quick] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // Warm both allocators/caches with a short throwaway round.
+    bench::RunEventQueueChurn<sim::EventQueue>(events / 20);
+    bench::RunEventQueueChurn<bench::LegacyEventQueue>(events / 20);
+
+    const auto pooled =
+        bench::RunEventQueueChurn<sim::EventQueue>(events);
+    const auto legacy =
+        bench::RunEventQueueChurn<bench::LegacyEventQueue>(events);
+    const auto stats = bench::RunStatsStreaming(events);
+
+    const std::string json =
+        "{\n  \"bench\": \"sim_core_baseline\",\n" +
+        bench::CoreBenchJson(pooled, legacy, stats) + "\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (!out_path.empty()) {
+        if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+            std::fputs(json.c_str(), f);
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 2;
+        }
+    }
+    return pooled.per_sec > legacy.per_sec ? 0 : 1;
+}

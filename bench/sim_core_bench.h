@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Simulation-core microbenchmarks shared by bench/sim_core_baseline and
+ * tools/bench_record.
+ *
+ * Two benches:
+ *  - Event-queue churn: a fixed window of outstanding one-shot timers
+ *    (each firing schedules its successor, mimicking LcApp's
+ *    arrival/completion cycle with a 32-byte capture), a periodic tick,
+ *    and a cancel stream. Run against both the pooled production
+ *    EventQueue and LegacyEventQueue — a faithful copy of the pre-pool
+ *    implementation (std::function payloads in the heap nodes plus
+ *    unordered_set pending/cancelled bookkeeping) — so the recorded
+ *    speedup is a measured ratio, not a claim.
+ *  - Stats streaming: WindowedTailTracker record/roll throughput and
+ *    LatencyHistogram percentile queries, the per-request stats cost.
+ *
+ * Binaries that want allocs/event must define the global allocation
+ * counter with HERACLES_BENCH_DEFINE_ALLOC_COUNTER in exactly one
+ * translation unit; the benches read it through bench::AllocCount().
+ */
+#ifndef HERACLES_BENCH_SIM_CORE_BENCH_H
+#define HERACLES_BENCH_SIM_CORE_BENCH_H
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace heracles::bench {
+
+/** Global new/delete call count; defined by the counter macro below. */
+extern std::atomic<uint64_t> g_alloc_count;
+
+inline uint64_t
+AllocCount()
+{
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/**
+ * Defines counting replacements for the global allocation functions.
+ * Place once in the binary's main .cc. Counts every operator new, which
+ * is exactly the "allocs/event" the baseline record tracks.
+ */
+#define HERACLES_BENCH_DEFINE_ALLOC_COUNTER()                              \
+    namespace heracles::bench {                                            \
+    std::atomic<uint64_t> g_alloc_count{0};                                \
+    }                                                                      \
+    void* operator new(std::size_t size)                                   \
+    {                                                                      \
+        heracles::bench::g_alloc_count.fetch_add(                          \
+            1, std::memory_order_relaxed);                                 \
+        if (void* p = std::malloc(size ? size : 1)) return p;              \
+        throw std::bad_alloc();                                            \
+    }                                                                      \
+    void operator delete(void* p) noexcept { std::free(p); }               \
+    void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+/**
+ * The event-queue implementation this PR replaced, kept verbatim for
+ * measured comparison: std::function callbacks inside the heap items
+ * (one heap allocation per >16-byte capture) and two unordered_sets of
+ * live/cancelled ids maintained on every schedule, fire and cancel.
+ */
+class LegacyEventQueue
+{
+  public:
+    using EventFn = std::function<void()>;
+    using EventId = uint64_t;
+
+    sim::SimTime Now() const { return now_; }
+
+    EventId
+    ScheduleAt(sim::SimTime when, EventFn fn)
+    {
+        const EventId id = next_id_++;
+        heap_.push(Item{when, next_seq_++, id, std::move(fn), 0});
+        pending_ids_.insert(id);
+        return id;
+    }
+
+    EventId
+    ScheduleAfter(sim::Duration delay, EventFn fn)
+    {
+        return ScheduleAt(now_ + delay, std::move(fn));
+    }
+
+    EventId
+    SchedulePeriodic(sim::Duration period, sim::Duration phase, EventFn fn)
+    {
+        const EventId id = next_id_++;
+        heap_.push(Item{now_ + phase, next_seq_++, id, std::move(fn),
+                        period});
+        pending_ids_.insert(id);
+        return id;
+    }
+
+    void
+    Cancel(EventId id)
+    {
+        if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+    }
+
+    void
+    RunUntil(sim::SimTime until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until) {
+            Item item = heap_.top();
+            heap_.pop();
+            if (cancelled_.erase(item.id) > 0) continue;
+            now_ = item.when;
+            ++executed_;
+            if (item.period <= 0) pending_ids_.erase(item.id);
+            item.fn();
+            if (item.period > 0) {
+                if (cancelled_.erase(item.id) > 0) continue;
+                item.when = now_ + item.period;
+                item.seq = next_seq_++;
+                heap_.push(std::move(item));
+            }
+        }
+        if (now_ < until) now_ = until;
+    }
+
+    void RunFor(sim::Duration span) { RunUntil(now_ + span); }
+    uint64_t executed() const { return executed_; }
+
+  private:
+    struct Item {
+        sim::SimTime when;
+        uint64_t seq;
+        EventId id;
+        EventFn fn;
+        sim::Duration period;
+
+        bool
+        operator>(const Item& o) const
+        {
+            if (when != o.when) return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+    std::unordered_set<EventId> pending_ids_;
+    std::unordered_set<EventId> cancelled_;
+    sim::SimTime now_ = 0;
+    uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    uint64_t executed_ = 0;
+};
+
+/** One microbench measurement. */
+struct BenchResult {
+    uint64_t events = 0;       ///< Fired events (or recorded samples).
+    double wall_s = 0.0;       ///< Wall-clock seconds.
+    double per_sec = 0.0;      ///< events / wall_s.
+    double allocs_per_event = 0.0;
+};
+
+inline double
+WallSeconds(const std::function<void()>& fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Event-queue churn driver, shared between both implementations.
+ *
+ * Seeds @p window outstanding one-shot timers whose callbacks carry a
+ * 32-byte capture (this pointer + a 24-byte request mirror, the shape of
+ * LcApp's completion closures), each scheduling its successor when it
+ * fires; one periodic tick; and, per firing, a short-lived extra event
+ * that is immediately cancelled — the mix a server simulation generates.
+ * Returns after ~@p total_events fires and reports the measured rate.
+ */
+/** The 24-byte payload LcApp completion closures carry. */
+struct RequestMirror {
+    sim::SimTime arrival = 0;
+    uint64_t tag = 0;
+    bool tracked = false;
+};
+
+/**
+ * Self-perpetuating timer driver: each fire counts, schedules its
+ * successor with a fresh pseudo-random delay, and plants a decoy event
+ * that is immediately cancelled (the timeout-guard pattern). Completion
+ * closures capture exactly (driver pointer, RequestMirror) — 32 bytes,
+ * the shape of LcApp's per-request closures: past std::function's
+ * 16-byte buffer (one heap allocation per event on the legacy queue),
+ * inside InlineFn's 48-byte slot storage (zero on the pooled queue).
+ */
+template <typename Queue>
+struct ChurnDriver {
+    Queue q;
+    sim::Rng rng{42};
+    uint64_t fired = 0;
+
+    void
+    Arm(sim::Duration delay)
+    {
+        const RequestMirror req{q.Now(), fired, false};
+        q.ScheduleAfter(delay, [this, req] { Fire(req); });
+    }
+
+    void
+    Fire(const RequestMirror& req)
+    {
+        (void)req;
+        ++fired;
+        const auto next =
+            static_cast<sim::Duration>(1 + rng.UniformInt(1000));
+        Arm(next);
+        const auto decoy = q.ScheduleAfter(next + 10000, [] {});
+        q.Cancel(decoy);
+    }
+};
+
+template <typename Queue>
+BenchResult
+RunEventQueueChurn(uint64_t total_events, int window = 2048)
+{
+    ChurnDriver<Queue> d;
+
+    const uint64_t allocs0 = AllocCount();
+    const double wall = WallSeconds([&] {
+        for (int i = 0; i < window; ++i) {
+            d.Arm(static_cast<sim::Duration>(1 + d.rng.UniformInt(1000)));
+        }
+        d.q.SchedulePeriodic(500, 0, [] {});
+        // ~4 fires per simulated ns at the default window; small chunks
+        // keep the overshoot past total_events negligible.
+        while (d.fired < total_events) {
+            d.q.RunFor(50000);
+        }
+    });
+    const uint64_t allocs = AllocCount() - allocs0;
+
+    BenchResult r;
+    r.events = d.fired;
+    r.wall_s = wall;
+    r.per_sec = static_cast<double>(d.fired) / (wall > 0 ? wall : 1e-9);
+    r.allocs_per_event =
+        static_cast<double>(allocs) / static_cast<double>(d.fired);
+    return r;
+}
+
+/**
+ * Streaming-tail driver: records @p total_samples latencies drawn from
+ * the exponential ballpark of a websearch service time into a
+ * WindowedTailTracker (2 s fast window, the controller's poll cadence),
+ * advancing simulated time so windows keep closing, then issues p95/p99
+ * queries per window roll. Reports samples/sec.
+ */
+inline BenchResult
+RunStatsStreaming(uint64_t total_samples)
+{
+    sim::WindowedTailTracker tracker(sim::Seconds(2), 0.99);
+    sim::Rng rng(7);
+    sim::SimTime now = 0;
+    sim::Duration sink = 0;
+
+    const uint64_t allocs0 = AllocCount();
+    const double wall = WallSeconds([&] {
+        for (uint64_t i = 0; i < total_samples; ++i) {
+            now += sim::Micros(100);  // ~10k samples per 1 s of sim time
+            const auto lat =
+                static_cast<sim::Duration>(1 + rng.Exponential(4e6));
+            tracker.Record(now, lat);
+            if ((i & 0x3FFF) == 0) {
+                sink += tracker.OverallPercentile(0.95);
+                sink += tracker.CurrentWindowTail();
+            }
+        }
+    });
+    const uint64_t allocs = AllocCount() - allocs0;
+    if (sink == -1) std::abort();  // keep the reads alive
+
+    BenchResult r;
+    r.events = total_samples;
+    r.wall_s = wall;
+    r.per_sec =
+        static_cast<double>(total_samples) / (wall > 0 ? wall : 1e-9);
+    r.allocs_per_event =
+        static_cast<double>(allocs) / static_cast<double>(total_samples);
+    return r;
+}
+
+/**
+ * The shared core of the BENCH_sim_core.json record (see
+ * docs/performance.md for the schema): the event-queue microbench pair
+ * and the stats streaming bench, as indented JSON object members
+ * without surrounding braces so callers can append their own sections.
+ */
+inline std::string
+CoreBenchJson(const BenchResult& pooled, const BenchResult& legacy,
+              const BenchResult& stats)
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"event_queue\": {\n"
+        "    \"events\": %llu,\n"
+        "    \"pooled_events_per_sec\": %.0f,\n"
+        "    \"pooled_wall_s\": %.3f,\n"
+        "    \"pooled_allocs_per_event\": %.4f,\n"
+        "    \"legacy_events_per_sec\": %.0f,\n"
+        "    \"legacy_wall_s\": %.3f,\n"
+        "    \"legacy_allocs_per_event\": %.4f,\n"
+        "    \"speedup\": %.2f\n"
+        "  },\n"
+        "  \"stats\": {\n"
+        "    \"samples\": %llu,\n"
+        "    \"samples_per_sec\": %.0f,\n"
+        "    \"wall_s\": %.3f,\n"
+        "    \"allocs_per_sample\": %.4f\n"
+        "  }",
+        static_cast<unsigned long long>(pooled.events), pooled.per_sec,
+        pooled.wall_s, pooled.allocs_per_event, legacy.per_sec,
+        legacy.wall_s, legacy.allocs_per_event,
+        pooled.per_sec / (legacy.per_sec > 0 ? legacy.per_sec : 1e-9),
+        static_cast<unsigned long long>(stats.events), stats.per_sec,
+        stats.wall_s, stats.allocs_per_event);
+    return buf;
+}
+
+}  // namespace heracles::bench
+
+#endif  // HERACLES_BENCH_SIM_CORE_BENCH_H

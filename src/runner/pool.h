@@ -55,6 +55,7 @@ class Pool
     /** Blocks until every submitted task has completed. */
     void Wait();
 
+    /** Number of worker threads (fixed at construction). */
     int threads() const { return static_cast<int>(workers_.size()); }
 
   private:

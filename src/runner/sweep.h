@@ -21,8 +21,8 @@ namespace heracles::runner {
 
 /** One independent simulation: a full experiment config at one load. */
 struct SweepJob {
-    exp::ExperimentConfig cfg;
-    double load = 0.0;
+    exp::ExperimentConfig cfg;  ///< Server + workload + policy blueprint.
+    double load = 0.0;          ///< LC load fraction for this point.
     /** Optional caller tag (row label, variant name); carried through. */
     std::string tag;
     /**

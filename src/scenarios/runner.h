@@ -39,7 +39,13 @@ struct RunOptions {
     static RunOptions Golden();
 };
 
-/** Runs one scenario to completion and reports its metrics record. */
+/**
+ * Runs one scenario to completion and reports its metrics record.
+ * @param spec a cataloged (or hand-built) scenario blueprint.
+ * @param opts time scale / seed / leaf-count overrides.
+ * @return the canonical metrics record; bit-identical for equal
+ *         (spec, opts) on every platform.
+ */
 ScenarioMetrics RunScenario(const ScenarioSpec& spec,
                             const RunOptions& opts = {});
 

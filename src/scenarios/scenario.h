@@ -39,7 +39,10 @@ enum class TraceKind {
     kFlashCrowd,  ///< Sudden burst: steep ramp, plateau, decay.
 };
 
+/** Human-readable topology name ("single-server" / "cluster"). */
 std::string TopologyName(Topology t);
+
+/** Human-readable trace-kind name ("constant", "step", ...). */
 std::string TraceKindName(TraceKind k);
 
 /**
@@ -48,17 +51,20 @@ std::string TraceKindName(TraceKind k);
  * of the same (spec, seed, scale) are bit-identical.
  */
 struct ScenarioSpec {
-    std::string name;
-    std::string description;
+    std::string name;         ///< Unique catalog key (CLI `--scenario`).
+    std::string description;  ///< One-line summary for `--list-scenarios`.
 
     Topology topology = Topology::kSingleServer;
+    /** Server shape; every leaf of a cluster scenario uses the same. */
     hw::MachineConfig machine;
 
     /** LC workload name resolved via workloads::AllLcWorkloads(). */
     std::string lc = "websearch";
     /** BE job name via workloads::BeProfileByName(); "none" = no BE. */
     std::string be = "brain";
+    /** Isolation policy (Heracles, baseline, OS-only, static). */
     exp::PolicyKind policy = exp::PolicyKind::kHeracles;
+    /** Controller tunables; paper defaults unless the scenario ablates. */
     ctl::HeraclesConfig heracles;
 
     TraceKind trace = TraceKind::kConstant;
@@ -72,8 +78,9 @@ struct ScenarioSpec {
     sim::Duration measure = sim::Seconds(120);
 
     // --- Cluster shape ---------------------------------------------------
-    int leaves = 6;
-    bool colocate = true;
+    int leaves = 6;          ///< Fan-out width (kCluster only).
+    bool colocate = true;    ///< Run BE jobs on the leaves.
+    /** Enable the centralized root controller (paper's future work). */
     bool central_controller = false;
     sim::Duration cluster_duration = sim::Minutes(10);
 
@@ -84,6 +91,7 @@ struct ScenarioSpec {
      */
     bool expect_slo_violation = false;
 
+    /** Default RNG seed; RunOptions::seed overrides from the CLI. */
     uint64_t seed = 1;
 };
 
@@ -99,7 +107,7 @@ struct ScenarioSpec {
  * golden comparison, pinning them at zero.
  */
 struct ScenarioMetrics {
-    std::string scenario;
+    std::string scenario;  ///< Catalog name of the scenario that ran.
 
     // --- SLO / latency ---------------------------------------------------
     double slo_attained = 0.0;   ///< 1.0 when no SLO violation.

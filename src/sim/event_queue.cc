@@ -21,53 +21,83 @@ FormatDuration(Duration d)
     return buf;
 }
 
-EventQueue::EventId
-EventQueue::ScheduleAt(SimTime when, EventFn fn)
+uint32_t
+EventQueue::AcquireSlot()
 {
-    HERACLES_CHECK_MSG(when >= now_,
-                       "scheduling into the past: " << when << " < " << now_);
-    const EventId id = next_id_++;
-    heap_.push(Item{when, next_seq_++, id, std::move(fn), /*period=*/0});
-    pending_ids_.insert(id);
-    return id;
+    uint32_t idx;
+    if (free_head_ != kNilSlot) {
+        idx = free_head_;
+        free_head_ = slots_[idx].next_free;
+    } else {
+        idx = static_cast<uint32_t>(slots_.size());
+        HERACLES_CHECK_MSG(idx != kNilSlot, "event pool exhausted");
+        slots_.emplace_back();
+    }
+    Slot& s = slots_[idx];
+    // Generation 0 is never issued, so a zero-initialized EventId can
+    // never match a live slot.
+    if (++s.gen == 0) ++s.gen;
+    s.state = Slot::kLive;
+    return idx;
+}
+
+void
+EventQueue::ReleaseSlot(uint32_t idx)
+{
+    Slot& s = slots_[idx];
+    s.fn.Reset();
+    s.period = 0;
+    s.state = Slot::kFree;
+    s.next_free = free_head_;
+    free_head_ = idx;
 }
 
 EventQueue::EventId
-EventQueue::SchedulePeriodic(Duration period, Duration phase, EventFn fn)
+EventQueue::Push(SimTime when, Duration period, InlineFn fn)
 {
-    HERACLES_CHECK_MSG(period > 0, "period must be positive: " << period);
-    HERACLES_CHECK(phase >= 0);
-    const EventId id = next_id_++;
-    heap_.push(Item{now_ + phase, next_seq_++, id, std::move(fn), period});
-    pending_ids_.insert(id);
-    return id;
+    const uint32_t idx = AcquireSlot();
+    Slot& s = slots_[idx];
+    s.fn = std::move(fn);
+    s.period = period;
+    heap_.push(HeapItem{when, next_seq_++, idx});
+    return (static_cast<EventId>(s.gen) << 32) | idx;
 }
 
 void
 EventQueue::RunUntil(SimTime until)
 {
     while (!heap_.empty() && heap_.top().when <= until) {
-        Item item = heap_.top();
+        const HeapItem item = heap_.top();
         heap_.pop();
-        if (cancelled_.erase(item.id) > 0) {
-            // Periodic events are dropped entirely once cancelled; one-shot
-            // events simply never fire. (Cancel already removed the id
-            // from pending_ids_.)
+        // The deque keeps slot addresses stable across callbacks, but a
+        // reference would still dangle conceptually; re-index after fn().
+        Slot& s = slots_[item.slot];
+        if (s.state == Slot::kCancelled) {
+            --cancelled_;
+            ReleaseSlot(item.slot);
             continue;
         }
         now_ = item.when;
         ++executed_;
-        // A one-shot event is no longer pending the moment it fires —
-        // erase before the callback so a self-Cancel inside fn() is a
-        // clean no-op instead of a leaked cancelled_ entry.
-        if (item.period <= 0) pending_ids_.erase(item.id);
-        item.fn();
-        if (item.period > 0) {
-            // A callback may have cancelled its own periodic event.
-            if (cancelled_.erase(item.id) > 0) continue;
-            item.when = now_ + item.period;
-            item.seq = next_seq_++;
-            heap_.push(std::move(item));
+        if (s.period <= 0) {
+            // One-shot: recycle the slot before the callback runs, so a
+            // self-Cancel inside fn() misses (state kFree / stale gen)
+            // and the slot is immediately reusable by whatever the
+            // callback schedules.
+            InlineFn fn = std::move(s.fn);
+            ReleaseSlot(item.slot);
+            fn();
+        } else {
+            s.fn();
+            Slot& after = slots_[item.slot];
+            if (after.state == Slot::kCancelled) {
+                // The callback cancelled its own periodic event.
+                --cancelled_;
+                ReleaseSlot(item.slot);
+            } else {
+                heap_.push(
+                    HeapItem{now_ + after.period, next_seq_++, item.slot});
+            }
         }
     }
     if (now_ < until) now_ = until;

@@ -6,23 +6,30 @@
  * simulated times, executed in (time, insertion-order) order. All hardware
  * models, workloads and controllers in this library are driven by this
  * queue; nothing observes wall-clock time.
+ *
+ * Events live in a slab pool of fixed slots with free-list reuse: the
+ * callback is stored in the slot via small-buffer InlineFn storage (zero
+ * heap traffic for the closures the simulation layers schedule), the
+ * binary heap orders plain 24-byte (time, seq, slot) records, and
+ * EventIds carry a generation tag so Cancel is an O(1) slot lookup with
+ * no side-table bookkeeping — a stale id (already fired, already
+ * cancelled, or from a recycled slot) simply misses its generation and
+ * is a no-op.
  */
 #ifndef HERACLES_SIM_EVENT_QUEUE_H
 #define HERACLES_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/log.h"
 #include "sim/time.h"
 
 namespace heracles::sim {
-
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
 
 /**
  * Priority queue of timed events plus the simulated clock.
@@ -34,7 +41,11 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    /** Opaque handle used to cancel a scheduled or periodic event. */
+    /**
+     * Opaque handle used to cancel a scheduled or periodic event:
+     * (generation << 32) | slot index. Generations start at 1, so the
+     * zero-initialized id is never valid and cancelling it is a no-op.
+     */
     using EventId = uint64_t;
 
     EventQueue() = default;
@@ -49,29 +60,58 @@ class EventQueue
      * @pre when >= Now().
      * @return handle usable with Cancel().
      */
-    EventId ScheduleAt(SimTime when, EventFn fn);
+    template <typename Fn>
+    EventId
+    ScheduleAt(SimTime when, Fn&& fn)
+    {
+        HERACLES_CHECK_MSG(
+            when >= now_,
+            "scheduling into the past: " << when << " < " << now_);
+        return Push(when, /*period=*/0, InlineFn(std::forward<Fn>(fn)));
+    }
 
     /** Schedules @p fn to run @p delay after the current time. */
-    EventId ScheduleAfter(Duration delay, EventFn fn)
+    template <typename Fn>
+    EventId
+    ScheduleAfter(Duration delay, Fn&& fn)
     {
         HERACLES_CHECK_MSG(delay >= 0, "negative delay " << delay);
-        return ScheduleAt(now_ + delay, std::move(fn));
+        return Push(now_ + delay, /*period=*/0,
+                    InlineFn(std::forward<Fn>(fn)));
     }
 
     /**
      * Schedules @p fn every @p period, first firing at Now() + @p phase.
      * The callback keeps firing until the returned id is cancelled.
      */
-    EventId SchedulePeriodic(Duration period, Duration phase, EventFn fn);
+    template <typename Fn>
+    EventId
+    SchedulePeriodic(Duration period, Duration phase, Fn&& fn)
+    {
+        HERACLES_CHECK_MSG(period > 0,
+                           "period must be positive: " << period);
+        HERACLES_CHECK(phase >= 0);
+        return Push(now_ + phase, period, InlineFn(std::forward<Fn>(fn)));
+    }
 
     /**
-     * Cancels a pending (or periodic) event in O(1). Cancelling twice, or
-     * cancelling an already-fired one-shot event, is a no-op and leaves no
-     * bookkeeping behind.
+     * Cancels a pending (or periodic) event in O(1). Cancelling twice,
+     * cancelling an already-fired one-shot event, or cancelling with a
+     * stale id from a recycled slot is a no-op and leaves no bookkeeping
+     * behind.
      */
-    void Cancel(EventId id)
+    void
+    Cancel(EventId id)
     {
-        if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+        const uint32_t idx = SlotOf(id);
+        if (idx >= slots_.size()) return;
+        Slot& s = slots_[idx];
+        if (s.gen != GenOf(id) || s.state != Slot::kLive) return;
+        // Only mark; the callable is destroyed when the slot is released
+        // (a periodic cancelling itself mid-fire must not destroy the
+        // closure it is currently executing).
+        s.state = Slot::kCancelled;
+        ++cancelled_;
     }
 
     /** Runs events until the queue is empty or the clock reaches @p until. */
@@ -83,36 +123,80 @@ class EventQueue
     /** Number of events executed so far (for micro-benchmarks and tests). */
     uint64_t executed() const { return executed_; }
 
-    /** Number of events currently pending. */
+    /** Number of events currently in the heap (live + cancelled). */
     size_t pending() const { return heap_.size(); }
 
     /** Cancelled events not yet dropped from the heap (for tests). */
-    size_t cancelled_backlog() const { return cancelled_.size(); }
+    size_t cancelled_backlog() const { return cancelled_; }
+
+    /** Total slots ever created in the pool; bounded by the peak number
+     *  of simultaneously pending events, not by throughput (for tests). */
+    size_t pool_slots() const { return slots_.size(); }
+
+    /** Slots currently on the free list awaiting reuse (for tests). */
+    size_t
+    pool_free() const
+    {
+        size_t n = 0;
+        for (uint32_t i = free_head_; i != kNilSlot;
+             i = slots_[i].next_free) {
+            ++n;
+        }
+        return n;
+    }
 
   private:
-    struct Item {
+    static constexpr uint32_t kNilSlot = UINT32_MAX;
+
+    /**
+     * One pooled event. The slot index plus generation is the EventId;
+     * the slot is recycled (generation bumped) as soon as its heap
+     * record pops, so the pool stays as small as the peak pending count.
+     */
+    struct Slot {
+        enum State : uint8_t {
+            kFree,       ///< On the free list; fn is empty.
+            kLive,       ///< Scheduled (or a periodic mid-fire).
+            kCancelled,  ///< Cancelled; dropped when its record pops.
+        };
+
+        InlineFn fn;
+        Duration period = 0;  ///< <= 0 for one-shot events.
+        uint32_t gen = 0;     ///< Bumped on every acquire; 0 never issued.
+        uint32_t next_free = kNilSlot;
+        State state = kFree;
+    };
+
+    /** What the binary heap orders: plain data, no callback payload. */
+    struct HeapItem {
         SimTime when;
-        uint64_t seq;   // tie-breaker: insertion order
-        EventId id;
-        EventFn fn;
-        Duration period;   // <= 0 for one-shot events
+        uint64_t seq;  ///< Tie-breaker: insertion order.
+        uint32_t slot;
 
         bool
-        operator>(const Item& o) const
+        operator>(const HeapItem& o) const
         {
             if (when != o.when) return when > o.when;
             return seq > o.seq;
         }
     };
 
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
-    /** Ids of every event still in the heap (live events). */
-    std::unordered_set<EventId> pending_ids_;
-    /** Live ids that were cancelled; erased when popped off the heap. */
-    std::unordered_set<EventId> cancelled_;
+    static uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id); }
+    static uint32_t GenOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+
+    EventId Push(SimTime when, Duration period, InlineFn fn);
+    uint32_t AcquireSlot();
+    void ReleaseSlot(uint32_t idx);
+
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
+        heap_;
+    /** Slab pool. std::deque: slot addresses stay stable while a firing
+     *  callback schedules new events (which may extend the pool). */
+    std::deque<Slot> slots_;
+    uint32_t free_head_ = kNilSlot;
+    size_t cancelled_ = 0;  ///< Cancelled slots still referenced by heap_.
     SimTime now_ = 0;
     uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
     uint64_t executed_ = 0;
 };
 

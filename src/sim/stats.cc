@@ -41,7 +41,10 @@ void
 LatencyHistogram::RecordN(Duration v, uint64_t n)
 {
     if (n == 0) return;
-    buckets_[BucketIndex(v)] += n;
+    const int idx = BucketIndex(v);
+    buckets_[idx] += n;
+    if (idx < lo_ || lo_ > hi_) lo_ = idx;
+    if (idx > hi_) hi_ = idx;
     count_ += n;
     sum_ns_ += static_cast<double>(v) * static_cast<double>(n);
     max_ = std::max(max_, v);
@@ -56,11 +59,11 @@ LatencyHistogram::Percentile(double p) const
     const uint64_t rank = std::max<uint64_t>(
         1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_))));
     uint64_t seen = 0;
-    for (size_t i = 0; i < buckets_.size(); ++i) {
+    for (int i = lo_; i <= hi_; ++i) {
         seen += buckets_[i];
         if (seen >= rank) {
             // Never report above the true max (tightens the top bucket).
-            return std::min(BucketUpperEdge(static_cast<int>(i)), max_);
+            return std::min(BucketUpperEdge(i), max_);
         }
     }
     return max_;
@@ -75,7 +78,11 @@ LatencyHistogram::MeanNs() const
 void
 LatencyHistogram::Reset()
 {
-    std::fill(buckets_.begin(), buckets_.end(), 0);
+    if (lo_ <= hi_) {
+        std::fill(buckets_.begin() + lo_, buckets_.begin() + hi_ + 1, 0);
+    }
+    lo_ = 0;
+    hi_ = -1;
     count_ = 0;
     sum_ns_ = 0.0;
     max_ = 0;
@@ -85,8 +92,17 @@ void
 LatencyHistogram::Merge(const LatencyHistogram& other)
 {
     HERACLES_CHECK(buckets_per_octave_ == other.buckets_per_octave_);
-    for (size_t i = 0; i < buckets_.size(); ++i) {
-        buckets_[i] += other.buckets_[i];
+    if (other.lo_ <= other.hi_) {
+        for (int i = other.lo_; i <= other.hi_; ++i) {
+            buckets_[i] += other.buckets_[i];
+        }
+        if (lo_ > hi_) {
+            lo_ = other.lo_;
+            hi_ = other.hi_;
+        } else {
+            lo_ = std::min(lo_, other.lo_);
+            hi_ = std::max(hi_, other.hi_);
+        }
     }
     count_ += other.count_;
     sum_ns_ += other.sum_ns_;

@@ -23,6 +23,12 @@ namespace heracles::sim {
  * huge dynamic range, so one histogram type covers memkeyval (~100us SLO)
  * and websearch (~10ms SLO). Percentile queries return the upper edge of
  * the bucket containing the requested rank.
+ *
+ * The histogram tracks its occupied bucket range, so the streaming-tail
+ * hot path (WindowedTailTracker closes a window every few simulated
+ * seconds: one Percentile + one Reset each) touches only the few dozen
+ * buckets a workload actually populates instead of the whole 2048-bucket
+ * backing array.
  */
 class LatencyHistogram
 {
@@ -60,6 +66,10 @@ class LatencyHistogram
 
     int buckets_per_octave_;
     std::vector<uint64_t> buckets_;
+    /** Occupied range [lo_, hi_]; lo_ > hi_ when empty. Percentile scans
+     *  and Reset fills touch only this range. */
+    int lo_ = 0;
+    int hi_ = -1;
     uint64_t count_ = 0;
     double sum_ns_ = 0.0;
     Duration max_ = 0;

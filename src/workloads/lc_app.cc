@@ -147,12 +147,29 @@ LcApp::StartService(Request req)
             static_cast<double>(sched_delay_lo_),
             static_cast<double>(sched_delay_hi_)));
     }
+    uint32_t slot;
+    if (!inflight_free_.empty()) {
+        slot = inflight_free_.back();
+        inflight_free_.pop_back();
+    } else {
+        slot = static_cast<uint32_t>(inflight_.size());
+        inflight_.emplace_back();
+    }
+    inflight_[slot] = req;
     machine_.queue().ScheduleAfter(service,
-                                   [this, req] { OnCompletion(req); });
+                                   [this, slot] { CompleteInflight(slot); });
 }
 
 void
-LcApp::OnCompletion(Request req)
+LcApp::CompleteInflight(uint32_t slot)
+{
+    const Request req = inflight_[slot];
+    inflight_free_.push_back(slot);
+    OnCompletion(req);
+}
+
+void
+LcApp::OnCompletion(const Request& req)
 {
     const sim::SimTime arrival = req.arrival;
     AccumulateBusy();

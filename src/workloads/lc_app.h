@@ -244,7 +244,9 @@ class LcApp : public hw::ResourceClient
     void OnArrival();
     void TryDispatch();
     void StartService(Request req);
-    void OnCompletion(Request req);
+    void OnCompletion(const Request& req);
+    /** Completion event for the pooled in-flight request at @p slot. */
+    void CompleteInflight(uint32_t slot);
     sim::Duration SampleServiceTime(bool ht_shared);
     double CurrentDataFootprintMb() const;
     /** (instr penalty, data miss factor) for @p eff_mb resident MB. */
@@ -266,6 +268,17 @@ class LcApp : public hw::ResourceClient
     int phys_cores_ = 0;     ///< Physical cores in the cpuset.
     int busy_ = 0;
     std::deque<Request> queue_;
+
+    /**
+     * Slab of in-service requests with free-list reuse: a dispatched
+     * request parks in a recycled slot and its completion event captures
+     * only (this, slot index), so the per-request closure stays within
+     * the event pool's inline storage and the app allocates nothing on
+     * the request hot path after the first ramp-up. Bounded by the
+     * cpuset capacity (at most one in-flight request per busy thread).
+     */
+    std::vector<Request> inflight_;
+    std::vector<uint32_t> inflight_free_;
 
     mutable sim::WindowedTailTracker report_tail_;
     mutable sim::WindowedTailTracker ctl_tail_;

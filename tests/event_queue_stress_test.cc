@@ -202,6 +202,13 @@ RunOps(const std::vector<Op>& ops, size_t n)
         return "cancel bookkeeping leaked: " +
                std::to_string(q.cancelled_backlog());
     }
+    if (q.pool_free() != q.pool_slots()) {
+        // Every slab slot must be back on the free list once the heap
+        // drains: a fired or cancelled event that never releases its
+        // slot is a pool leak even when the firing log agrees.
+        return "event pool leaked: " + std::to_string(q.pool_slots()) +
+               " slots, " + std::to_string(q.pool_free()) + " free";
+    }
     if (ref.pending() != 0) return "reference not drained";
     return "";
 }

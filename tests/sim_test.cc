@@ -464,6 +464,44 @@ TEST(Histogram, HugeValuesClampToRange)
     EXPECT_GT(h.Percentile(0.5), 0);
 }
 
+TEST(Histogram, ResetThenRecordReportsOnlyNewSamples)
+{
+    // The occupied-range bookkeeping must fully forget the old range:
+    // a post-Reset histogram answers from the new samples alone, even
+    // when they land in completely different buckets.
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i) h.Record(Millis(50));  // high buckets
+    h.Reset();
+    for (int i = 0; i < 100; ++i) h.Record(Micros(10));  // low buckets
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_LT(h.Percentile(0.99), Micros(12));
+    EXPECT_EQ(h.MaxNs(), Micros(10));
+}
+
+TEST(Histogram, MergeIntoEmptyAdoptsRange)
+{
+    LatencyHistogram a, b;
+    for (int i = 0; i < 50; ++i) b.Record(Micros(200));
+    a.Merge(b);
+    EXPECT_EQ(a.count(), 50u);
+    EXPECT_EQ(a.Percentile(0.5), b.Percentile(0.5));
+    a.Merge(LatencyHistogram());  // merging an empty histogram: no-op
+    EXPECT_EQ(a.count(), 50u);
+    EXPECT_EQ(a.Percentile(0.5), b.Percentile(0.5));
+}
+
+TEST(Histogram, MergeDisjointRangesSpansBoth)
+{
+    LatencyHistogram low, high;
+    for (int i = 0; i < 90; ++i) low.Record(Micros(5));
+    for (int i = 0; i < 10; ++i) high.Record(Millis(80));
+    low.Merge(high);
+    EXPECT_EQ(low.count(), 100u);
+    EXPECT_LT(low.Percentile(0.5), Micros(7));    // from the low range
+    EXPECT_GT(low.Percentile(0.95), Millis(70));  // from the high range
+    EXPECT_EQ(low.MaxNs(), Millis(80));
+}
+
 // --------------------------------------------------------------------------
 // WindowedTailTracker
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Records the simulation-core performance baseline as BENCH_sim_core.json.
+ *
+ * One run produces the whole record (schema in docs/performance.md):
+ *  - the full scenario catalog end to end (`--scenario all` semantics) at
+ *    --scale on one worker thread, wall-clocked per catalog and checked
+ *    for unexpected SLO violations;
+ *  - the event-queue microbench on both the pooled production queue and
+ *    the embedded legacy (pre-pool) implementation, with allocs/event;
+ *  - the streaming-tail stats microbench.
+ *
+ * Usage: bench_record [--scale F] [--events N] [--out FILE]
+ *   --scale   time scale for the catalog pass (default 1.0 = full phases;
+ *             CI smoke runs use a small fraction)
+ *   --events  total fires per queue implementation (default 2000000)
+ *   --out     output path (default BENCH_sim_core.json)
+ *
+ * Unexpected SLO violations are recorded (and warned about) but do not
+ * fail the run: at full scale the step/flash-crowd scenarios violate
+ * transiently during their load spikes — pre-existing behavior pinned
+ * bit-identically by the golden harness at reduced scale — and a perf
+ * record must capture the catalog as it is. CI asserts the count is
+ * zero at smoke scale, where a nonzero value is a correctness alarm.
+ *
+ * Exit codes: 0 recorded; 1 pooled queue not faster than legacy;
+ * 2 usage/IO error.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "scenarios/registry.h"
+#include "scenarios/runner.h"
+#include "sim_core_bench.h"
+
+HERACLES_BENCH_DEFINE_ALLOC_COUNTER()
+
+using namespace heracles;
+
+int
+main(int argc, char** argv)
+{
+    double scale = 1.0;
+    uint64_t events = 2000000;
+    std::string out_path = "BENCH_sim_core.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--events") && i + 1 < argc) {
+            events = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--scale F] [--events N] [--out FILE]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (scale <= 0.0) {
+        std::fprintf(stderr, "--scale must be positive\n");
+        return 2;
+    }
+
+    // --- Catalog pass: every scenario, serial, wall-clocked -------------
+    const auto& specs = scenarios::AllScenarios();
+    scenarios::RunOptions opts;
+    opts.time_scale = scale;
+    std::vector<scenarios::ScenarioMetrics> results;
+    const double catalog_s = bench::WallSeconds([&] {
+        results = scenarios::RunScenarios(specs, opts, /*jobs=*/1);
+    });
+    int violations = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (results[i].slo_attained == 0.0 &&
+            !specs[i].expect_slo_violation) {
+            std::fprintf(stderr, "unexpected SLO violation: %s\n",
+                         results[i].scenario.c_str());
+            ++violations;
+        }
+    }
+
+    // --- Microbenches ----------------------------------------------------
+    bench::RunEventQueueChurn<sim::EventQueue>(events / 20);  // warmup
+    bench::RunEventQueueChurn<bench::LegacyEventQueue>(events / 20);
+    const auto pooled =
+        bench::RunEventQueueChurn<sim::EventQueue>(events);
+    const auto legacy =
+        bench::RunEventQueueChurn<bench::LegacyEventQueue>(events);
+    const auto stats = bench::RunStatsStreaming(events);
+
+    char head[512];
+    std::snprintf(head, sizeof head,
+                  "{\n"
+                  "  \"bench\": \"sim_core\",\n"
+                  "  \"scenarios\": {\n"
+                  "    \"count\": %zu,\n"
+                  "    \"scale\": %.3f,\n"
+                  "    \"jobs\": 1,\n"
+                  "    \"wall_s\": %.3f,\n"
+                  "    \"unexpected_slo_violations\": %d\n"
+                  "  },\n",
+                  results.size(), scale, catalog_s, violations);
+
+    const std::string json = std::string(head) +
+                             bench::CoreBenchJson(pooled, legacy, stats) +
+                             "\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 2;
+    }
+    return pooled.per_sec > legacy.per_sec ? 0 : 1;
+}
