@@ -8,6 +8,7 @@
 #include "hw/machine.h"
 #include "platform/sim_platform.h"
 #include "runner/pool.h"
+#include "sim/log.h"
 #include "workloads/antagonists.h"
 #include "workloads/be_task.h"
 #include "workloads/lc_app.h"
@@ -15,54 +16,121 @@
 namespace heracles::cluster {
 namespace {
 
-/** One assembled cluster: machines, leaves, per-leaf Heracles, a root. */
+/**
+ * One assembled cluster: machines, leaves, per-leaf Heracles, a root
+ * topology and (optionally) the cluster-level BE scheduler.
+ */
 class ClusterSim
 {
   public:
-    ClusterSim(const ClusterConfig& cfg, const sim::LoadTrace& trace,
-               bool colocate, sim::Duration target)
+    ClusterSim(const ClusterConfig& cfg, const std::vector<LeafSpec>& specs,
+               const sim::LoadTrace& trace, bool colocate,
+               sim::Duration target)
         : cfg_(cfg), trace_(trace), target_(target), rng_(cfg.seed)
     {
+        const int n = static_cast<int>(specs.size());
+        const int num_jobs = static_cast<int>(cfg_.be_jobs.size());
+        const bool scheduled =
+            colocate &&
+            cfg_.scheduler.policy != SchedulerPolicy::kStaticSplit &&
+            num_jobs > 0;
+
         // The alone-rate baselines and per-leaf bandwidth-model profiles
         // are independent standalone simulations / analytic evaluations;
         // fan them across the runner pool before assembling the leaves
-        // on the shared queue.
-        double brain_alone = 1.0, sv_alone = 1.0;
-        std::vector<ctl::LcBwModel> models(
-            colocate ? static_cast<size_t>(cfg_.leaves) : 0);
-        runner::ParallelFor(cfg_.jobs, 2 + models.size(), [&](size_t i) {
-            if (i == 0) {
-                brain_alone = workloads::MeasureAloneRate(
-                    cfg_.machine, workloads::Brain());
-            } else if (i == 1) {
-                sv_alone = workloads::MeasureAloneRate(
-                    cfg_.machine, workloads::Streetview());
-            } else {
-                hw::MachineConfig mcfg = cfg_.machine;
-                mcfg.seed = cfg_.seed * 131ull + (i - 2);
-                models[i - 2] = ctl::LcBwModel::Profile(cfg_.lc, mcfg);
+        // on the shared queue. Alone rates are deduplicated: pinned
+        // jobs by (job, machine) pair in leaf order (the uniform paper
+        // cluster yields exactly [brain, streetview]), queued jobs by
+        // job-major over the distinct machine shapes, since a scheduled
+        // job can land on any leaf.
+        struct AloneEntry {
+            const workloads::BeProfile* job;
+            const hw::MachineConfig* machine;
+        };
+        std::vector<AloneEntry> entries;
+        std::vector<int> leaf_alone(n, -1);  // static split: leaf -> entry
+        std::vector<int> variant(n, 0);      // scheduled: leaf -> machine
+        size_t num_variants = 0;
+        if (colocate && !scheduled) {
+            for (int i = 0; i < n; ++i) {
+                if (!specs[i].be.has_value()) continue;
+                int found = -1;
+                for (size_t e = 0; e < entries.size(); ++e) {
+                    if (*entries[e].job == *specs[i].be &&
+                        *entries[e].machine == specs[i].machine) {
+                        found = static_cast<int>(e);
+                        break;
+                    }
+                }
+                if (found < 0) {
+                    found = static_cast<int>(entries.size());
+                    entries.push_back(
+                        {&*specs[i].be, &specs[i].machine});
+                }
+                leaf_alone[i] = found;
             }
-        });
+        } else if (scheduled) {
+            std::vector<const hw::MachineConfig*> machines;
+            for (int i = 0; i < n; ++i) {
+                int found = -1;
+                for (size_t v = 0; v < machines.size(); ++v) {
+                    if (*machines[v] == specs[i].machine) {
+                        found = static_cast<int>(v);
+                        break;
+                    }
+                }
+                if (found < 0) {
+                    found = static_cast<int>(machines.size());
+                    machines.push_back(&specs[i].machine);
+                }
+                variant[i] = found;
+            }
+            num_variants = machines.size();
+            for (int j = 0; j < num_jobs; ++j) {
+                for (size_t v = 0; v < num_variants; ++v) {
+                    entries.push_back({&cfg_.be_jobs[j], machines[v]});
+                }
+            }
+        }
 
-        for (int i = 0; i < cfg_.leaves; ++i) {
+        std::vector<double> alone(entries.size(), 1.0);
+        std::vector<ctl::LcBwModel> models(
+            colocate ? static_cast<size_t>(n) : 0);
+        runner::ParallelFor(
+            cfg_.jobs, entries.size() + models.size(), [&](size_t i) {
+                if (i < entries.size()) {
+                    alone[i] = workloads::MeasureAloneRate(
+                        *entries[i].machine, *entries[i].job);
+                } else {
+                    const size_t li = i - entries.size();
+                    hw::MachineConfig mcfg = specs[li].machine;
+                    mcfg.seed = cfg_.seed * 131ull + li;
+                    models[li] =
+                        ctl::LcBwModel::Profile(specs[li].lc, mcfg);
+                }
+            });
+
+        for (int i = 0; i < n; ++i) {
+            const LeafSpec& ls = specs[i];
             exp::ServerSpec spec;
-            spec.machine = cfg_.machine;
+            spec.machine = ls.machine;
             spec.machine.seed = cfg_.seed * 131ull + i;
-            spec.lc = cfg_.lc;
+            spec.lc = ls.lc;
             spec.lc_seed = spec.machine.seed ^ 0x11;
             spec.heracles = cfg_.heracles;
-            double alone = 1.0;
+            double be_alone = 1.0;
             if (colocate) {
-                // brain on half the leaves, streetview on the other half.
-                // All leaves share one offline bandwidth model, even
-                // though each serves a different shard (Section 5.2
-                // shows Heracles tolerates this).
-                const bool even = i % 2 == 0;
-                spec.be = even ? workloads::Brain()
-                               : workloads::Streetview();
-                alone = even ? brain_alone : sv_alone;
+                // Every colocated leaf runs Heracles over a pre-built
+                // offline bandwidth model for its own (workload,
+                // machine) pair — one model per leaf, even when leaves
+                // serve different shards (Section 5.2 shows Heracles
+                // tolerates that).
                 spec.policy = exp::PolicyKind::kHeracles;
                 spec.bw_model = &models[i];
+                if (!scheduled && ls.be.has_value()) {
+                    spec.be = ls.be;
+                    be_alone = alone[leaf_alone[i]];
+                }
             } else {
                 spec.policy = exp::PolicyKind::kNoColocation;
             }
@@ -80,8 +148,23 @@ class ClusterSim
 
             Leaf leaf;
             leaf.server = std::move(server);
-            leaf.be_alone = alone;
+            leaf.base_slo = ls.lc.slo_latency;
+            leaf.be_alone = be_alone;
+            if (scheduled) {
+                leaf.alone_by_job.resize(num_jobs);
+                for (int j = 0; j < num_jobs; ++j) {
+                    leaf.alone_by_job[j] =
+                        alone[j * num_variants + variant[i]];
+                }
+            }
             leaves_.push_back(std::move(leaf));
+        }
+
+        topo_ = MakeTopology(cfg_.topology, n, cfg_.shards,
+                             cfg_.seed ^ 0x70B0C0DEull);
+        if (scheduled) {
+            scheduler_ = std::make_unique<ClusterScheduler>(
+                cfg_.scheduler, num_jobs, n);
         }
     }
 
@@ -98,12 +181,17 @@ class ClusterSim
         ScheduleNextQuery();
         queue_.SchedulePeriodic(cfg_.root_window, cfg_.root_window,
                                 [this] { CloseWindow(); });
+        if (scheduler_ != nullptr) {
+            queue_.SchedulePeriodic(cfg_.scheduler.period,
+                                    cfg_.scheduler.period,
+                                    [this] { SchedulerTick(); });
+        }
         queue_.RunFor(duration);
     }
 
     /**
-     * Centralized controller step: convert root-level slack into a
-     * uniform per-leaf tail target between the static base and
+     * Centralized controller step: convert root-level slack into
+     * per-leaf tail targets between each leaf's static base and
      * base * central_max_boost.
      */
     void
@@ -113,13 +201,12 @@ class ClusterSim
         const double root_slack =
             (static_cast<double>(target_) - window_mean) /
             static_cast<double>(target_);
-        const double base = static_cast<double>(cfg_.lc.slo_latency);
         const double boost = std::clamp(
             1.0 + cfg_.central_gain * root_slack, 1.0,
             cfg_.central_max_boost);
         for (auto& leaf : leaves_) {
-            leaf.lc().SetSloLatency(
-                static_cast<sim::Duration>(base * boost));
+            leaf.lc().SetSloLatency(static_cast<sim::Duration>(
+                static_cast<double>(leaf.base_slo) * boost));
         }
     }
 
@@ -134,6 +221,13 @@ class ClusterSim
             sum += static_cast<double>(leaf.lc().WorstReportTail());
         }
         return static_cast<sim::Duration>(sum / leaves_.size());
+    }
+
+    /** One leaf's overall worst report-window tail. */
+    sim::Duration
+    LeafTail(int i) const
+    {
+        return leaves_[static_cast<size_t>(i)].lc().WorstReportTail();
     }
 
     const sim::TimeSeries& emu_series() const { return emu_; }
@@ -161,12 +255,20 @@ class ClusterSim
             r.actuations.set_freq_cap += a.set_freq_cap;
             r.actuations.set_net_ceil += a.set_net_ceil;
         }
+        if (scheduler_ != nullptr) {
+            r.be_placements = scheduler_->stats().placements;
+            r.be_migrations = scheduler_->stats().migrations;
+        }
     }
 
   private:
     struct Leaf {
         std::unique_ptr<exp::ServerSim> server;
-        double be_alone = 1.0;
+        sim::Duration base_slo = 0;  ///< Tail target at assembly.
+        double be_alone = 1.0;       ///< Pinned job's alone rate.
+        /** Alone rate of every queued job on this machine shape. */
+        std::vector<double> alone_by_job;
+        int job = -1;  ///< Queued-job index hosted here (-1 = none).
 
         workloads::LcApp& lc() const { return server->lc(); }
         workloads::BeTask* be() const { return server->be(); }
@@ -194,8 +296,12 @@ class ClusterSim
     OnQueryArrival()
     {
         const uint64_t tag = next_tag_++;
-        pending_[tag] = Query{static_cast<int>(leaves_.size()), 0};
-        for (auto& leaf : leaves_) leaf.lc().InjectRequest(tag);
+        topo_->TouchedLeaves(tag, &touched_);
+        pending_[tag] =
+            Query{static_cast<int>(touched_.size()), 0};
+        for (int li : touched_) {
+            leaves_[static_cast<size_t>(li)].lc().InjectRequest(tag);
+        }
     }
 
     void
@@ -230,8 +336,11 @@ class ClusterSim
             double emu = 0.0;
             for (auto& leaf : leaves_) {
                 double e = leaf.lc().ServedFraction();
-                if (leaf.be()) {
-                    e += leaf.be()->CurrentRate() / leaf.be_alone;
+                if (workloads::BeTask* task = leaf.be()) {
+                    const double alone =
+                        leaf.job >= 0 ? leaf.alone_by_job[leaf.job]
+                                      : leaf.be_alone;
+                    e += task->CurrentRate() / alone;
                 }
                 emu += e;
             }
@@ -242,12 +351,46 @@ class ClusterSim
         window_count_ = 0;
     }
 
+    /** One cluster-scheduler period: export slack, apply the moves. */
+    void
+    SchedulerTick()
+    {
+        std::vector<ClusterScheduler::LeafState> states(leaves_.size());
+        for (size_t i = 0; i < leaves_.size(); ++i) {
+            ClusterScheduler::LeafState& s = states[i];
+            s.hosts_job = leaves_[i].job >= 0;
+            if (const ctl::HeraclesController* c =
+                    leaves_[i].server->controller()) {
+                const ctl::SlackExport e = c->ExportSlack();
+                s.slack = e.slack;
+                s.be_enabled = e.be_enabled;
+                s.in_cooldown = e.in_cooldown;
+                s.has_signal = e.has_signal;
+            }
+        }
+        for (const ClusterScheduler::Move& m :
+             scheduler_->Tick(states)) {
+            if (m.from >= 0) {
+                Leaf& src = leaves_[static_cast<size_t>(m.from)];
+                src.server->DetachBeJob();
+                src.job = -1;
+            }
+            Leaf& dst = leaves_[static_cast<size_t>(m.to)];
+            dst.server->AttachBeJob(
+                cfg_.be_jobs[static_cast<size_t>(m.job)]);
+            dst.job = m.job;
+        }
+    }
+
     ClusterConfig cfg_;
     const sim::LoadTrace& trace_;
     sim::Duration target_;
     sim::Rng rng_;
     sim::EventQueue queue_;
     std::vector<Leaf> leaves_;
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<ClusterScheduler> scheduler_;
+    std::vector<int> touched_;  // per-query scratch
 
     uint64_t next_tag_ = 1;
     std::unordered_map<uint64_t, Query> pending_;
@@ -267,12 +410,34 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg) : cfg_(std::move(cfg))
 {
 }
 
+const std::vector<LeafSpec>&
+ClusterExperiment::ResolveSpecs()
+{
+    if (!specs_.empty()) return specs_;
+    if (!cfg_.leaf_specs.empty()) {
+        specs_ = cfg_.leaf_specs;
+        return specs_;
+    }
+    // The paper's uniform cluster: identical leaves, brain pinned to the
+    // even ones and streetview to the odd ones.
+    specs_.reserve(static_cast<size_t>(cfg_.leaves));
+    for (int i = 0; i < cfg_.leaves; ++i) {
+        LeafSpec s;
+        s.machine = cfg_.machine;
+        s.lc = cfg_.lc;
+        s.be = i % 2 == 0 ? workloads::Brain() : workloads::Streetview();
+        specs_.push_back(std::move(s));
+    }
+    return specs_;
+}
+
 sim::Duration
 ClusterExperiment::MeasureTarget()
 {
     if (target_ > 0) return target_;
+    const std::vector<LeafSpec>& specs = ResolveSpecs();
     sim::ConstantTrace trace(cfg_.target_load);
-    ClusterSim sim(cfg_, trace, /*colocate=*/false, /*target=*/0);
+    ClusterSim sim(cfg_, specs, trace, /*colocate=*/false, /*target=*/0);
     sim.Run(cfg_.target_run, cfg_.run_warmup);
     // The worst mu/30s window at the defining load is the SLO target,
     // with a small confidence margin: the defining run observes only a
@@ -281,11 +446,28 @@ ClusterExperiment::MeasureTarget()
     const sim::TimeSeries& s = sim.latency_series();
     target_ = s.size() > 0 ? static_cast<sim::Duration>(1.05 * s.MaxValue())
                            : cfg_.lc.slo_latency;
-    // Uniform per-leaf tail target from the same run: Heracles on each
-    // leaf defends the leaf tail observed at the defining load, which is
-    // sufficient for the root SLO (Section 5.3).
-    leaf_target_ = sim.MeanLeafTail();
-    if (leaf_target_ <= 0) leaf_target_ = cfg_.lc.slo_latency;
+    // Per-leaf tail targets from the same run: Heracles on each leaf
+    // defends the tail observed at the defining load — the uniform mean
+    // leaf tail by default (Section 5.3), each leaf's own tail under
+    // per_leaf_targets, scaled/overridden by the leaf's spec.
+    const sim::Duration uniform = sim.MeanLeafTail();
+    leaf_targets_.assign(specs.size(), 0);
+    double sum = 0.0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        sim::Duration derived = cfg_.per_leaf_targets
+                                    ? sim.LeafTail(static_cast<int>(i))
+                                    : uniform;
+        if (derived <= 0) derived = specs[i].lc.slo_latency;
+        const sim::Duration t =
+            specs[i].tail_target_override > 0
+                ? specs[i].tail_target_override
+                : static_cast<sim::Duration>(
+                      static_cast<double>(derived) *
+                      specs[i].tail_scale);
+        leaf_targets_[i] = t;
+        sum += static_cast<double>(t);
+    }
+    leaf_target_ = static_cast<sim::Duration>(sum / specs.size());
     return target_;
 }
 
@@ -296,16 +478,38 @@ ClusterExperiment::LeafTarget()
     return leaf_target_;
 }
 
+const std::vector<sim::Duration>&
+ClusterExperiment::LeafTargets()
+{
+    MeasureTarget();
+    return leaf_targets_;
+}
+
 ClusterResult
 ClusterExperiment::Run()
 {
     MeasureTarget();
-    sim::DiurnalTrace trace(cfg_.duration, cfg_.load_low, cfg_.load_high,
-                            0.02, cfg_.seed);
-    ClusterConfig run_cfg = cfg_;
-    // Every leaf's Heracles defends the derived uniform tail target.
-    run_cfg.lc.slo_latency = leaf_target_;
-    ClusterSim sim(run_cfg, trace, cfg_.colocate, target_);
+    std::unique_ptr<sim::LoadTrace> trace;
+    if (cfg_.flash_crowd) {
+        // The crowd arrives a quarter into the post-warmup window so
+        // both the eviction and the recovery land in the statistics.
+        trace = std::make_unique<sim::FlashCrowdTrace>(
+            cfg_.duration, cfg_.load_low, cfg_.load_high,
+            /*onset=*/cfg_.run_warmup +
+                (cfg_.duration - cfg_.run_warmup) / 4,
+            /*ramp=*/sim::Seconds(10), /*hold=*/sim::Seconds(40),
+            /*decay=*/sim::Seconds(60), /*jitter=*/0.02, cfg_.seed);
+    } else {
+        trace = std::make_unique<sim::DiurnalTrace>(
+            cfg_.duration, cfg_.load_low, cfg_.load_high, 0.02,
+            cfg_.seed);
+    }
+    // Every leaf's Heracles defends its derived tail target.
+    std::vector<LeafSpec> run_specs = ResolveSpecs();
+    for (size_t i = 0; i < run_specs.size(); ++i) {
+        run_specs[i].lc.slo_latency = leaf_targets_[i];
+    }
+    ClusterSim sim(cfg_, run_specs, *trace, cfg_.colocate, target_);
     sim.Run(cfg_.duration, cfg_.run_warmup);
 
     ClusterResult r;

@@ -1,14 +1,24 @@
 /**
  * @file
- * Websearch cluster simulation (Section 5.3, Figure 8).
+ * Composable cluster simulation (Section 5.3, Figure 8, and beyond).
  *
- * A root node fans every user query out to all leaf servers and combines
- * their replies, so root latency is the maximum leaf latency plus network
- * hops. The cluster SLO is the *average* root latency over 30-second
- * windows (mu/30s); the target is the mu/30s measured at 90% load with no
- * colocation. Heracles runs independently on every leaf with a uniform
- * per-leaf tail target; brain runs on half the leaves and streetview on
- * the other half. Load follows a diurnal trace.
+ * A root node spreads every user query over the leaf servers through a
+ * pluggable Topology (full fan-out reproduces the paper; a sharded
+ * topology models a replicated, partitioned index) and combines the
+ * replies, so root latency is the maximum touched-leaf latency plus
+ * network hops. The cluster SLO is the *average* root latency over
+ * 30-second windows (mu/30s); the target is the mu/30s measured at 90%
+ * load with no colocation.
+ *
+ * Heracles runs independently on every leaf. Leaves are described by a
+ * vector of LeafSpec (machine, LC workload, pinned BE job, tail-target
+ * policy) and may be heterogeneous; the default-synthesized vector is
+ * the paper's uniform cluster with brain on half the leaves and
+ * streetview on the other half. Above the leaves, a cluster-level BE
+ * scheduler (cluster/scheduler.h) can own a queue of BE jobs and
+ * place/migrate them using the slack each leaf's controller exports;
+ * the static-split policy reproduces the pinned-at-assembly behavior
+ * bit for bit. Load follows a diurnal trace (or a flash crowd).
  */
 #ifndef HERACLES_CLUSTER_CLUSTER_H
 #define HERACLES_CLUSTER_CLUSTER_H
@@ -16,9 +26,13 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/leaf.h"
+#include "cluster/scheduler.h"
+#include "cluster/topology.h"
 #include "heracles/config.h"
 #include "hw/config.h"
 #include "platform/sim_platform.h"
+#include "runner/pool.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 #include "workloads/lc_configs.h"
@@ -27,16 +41,51 @@ namespace heracles::cluster {
 
 /** Configuration of a cluster run. */
 struct ClusterConfig {
+    /** Leaf count when leaf_specs is empty (uniform paper cluster). */
     int leaves = 12;
     hw::MachineConfig machine;
+    /** Root workload: defines the query rate (peak_qps) and the default
+     *  leaf workload of the uniform cluster. */
     workloads::LcParams lc = workloads::Websearch();
     ctl::HeraclesConfig heracles;
     /** Run best-effort tasks under Heracles (false = baseline). */
     bool colocate = true;
 
+    /**
+     * Explicit per-leaf blueprints. Empty = synthesize the paper's
+     * uniform cluster: `leaves` copies of (machine, lc) with brain
+     * pinned to even leaves and streetview to odd ones.
+     */
+    std::vector<LeafSpec> leaf_specs;
+
+    /** Root fan-out shape; shards only applies to kSharded (<= leaves;
+     *  0 picks one shard per leaf, i.e. full fan-out degenerate). */
+    TopologyKind topology = TopologyKind::kFullFanout;
+    int shards = 0;
+
+    /**
+     * Cluster-level BE scheduling. kStaticSplit runs the LeafSpec-pinned
+     * jobs exactly as before; kGreedySlack/kRoundRobin ignore the pinned
+     * jobs and instead queue `be_jobs`, placing them across leaves at
+     * runtime (at most one job per leaf).
+     */
+    SchedulerConfig scheduler;
+    std::vector<workloads::BeProfile> be_jobs;
+
+    /**
+     * Derive each leaf's tail target from its *own* tail in the
+     * target-defining run instead of the uniform mean — required for
+     * meaningfully heterogeneous leaves (a mean over different LC
+     * workloads defends nothing). Off = the paper's uniform target.
+     */
+    bool per_leaf_targets = false;
+
     /** Diurnal load range (the paper's trace swings roughly 20%-90%). */
     double load_low = 0.20;
     double load_high = 0.90;
+    /** Drive the run with a flash-crowd burst (base load_low, peak
+     *  load_high) instead of the diurnal swing. */
+    bool flash_crowd = false;
     /** Trace length. The paper's 12-hour trace is time-compressed; the
      *  controller's time constants are NOT scaled. */
     sim::Duration duration = sim::Minutes(25);
@@ -70,10 +119,11 @@ struct ClusterConfig {
     /**
      * Worker threads for the embarrassingly-parallel assembly work
      * (BE alone-rate baselines, per-leaf bandwidth-model profiling).
-     * The coupled root/leaf simulation itself is single-threaded and its
-     * results do not depend on this value.
+     * The coupled root/leaf simulation itself is single-threaded and
+     * its results do not depend on this value. Defaults to the tree's
+     * shared policy (HERACLES_JOBS env var, else hardware concurrency).
      */
-    int jobs = 1;
+    int jobs = runner::DefaultJobs();
 };
 
 /** Results of a cluster run. */
@@ -90,7 +140,7 @@ struct ClusterResult {
     double avg_emu = 0.0;
     double min_emu = 0.0;
     sim::Duration target = 0;       ///< Root mu/30s target.
-    sim::Duration leaf_target = 0;  ///< Uniform per-leaf tail target.
+    sim::Duration leaf_target = 0;  ///< Mean per-leaf tail target.
 
     // Controller activity summed over every leaf (zero when the run is
     // not colocated) — the scenario harness pins these against golden
@@ -100,9 +150,13 @@ struct ClusterResult {
     uint64_t be_disables = 0;  ///< Slack + load safeguards combined.
     uint64_t core_shrinks = 0;
     platform::ActuationCounts actuations;
+
+    // Cluster-level scheduler activity (zero under static split).
+    uint64_t be_placements = 0;  ///< Queue → leaf assignments.
+    uint64_t be_migrations = 0;  ///< Leaf → leaf moves.
 };
 
-/** Runs the fan-out cluster under a diurnal trace. */
+/** Runs the composed cluster under its load trace. */
 class ClusterExperiment
 {
   public:
@@ -110,22 +164,30 @@ class ClusterExperiment
 
     /**
      * Measures the root latency target (worst mu/30s window at
-     * target_load with no colocation) and the uniform per-leaf tail
-     * target derived from the same run, "set such that the latency at
-     * the root satisfies the SLO" (Section 5.3). Cached.
+     * target_load with no colocation) and the per-leaf tail targets
+     * derived from the same run, "set such that the latency at the
+     * root satisfies the SLO" (Section 5.3). Cached.
      */
     sim::Duration MeasureTarget();
 
-    /** Per-leaf tail target used by Heracles on every leaf. */
+    /** Mean per-leaf tail target used by Heracles across the leaves. */
     sim::Duration LeafTarget();
 
-    /** Runs the full diurnal trace and reports the Figure 8 series. */
+    /** Per-leaf tail targets (after tail_scale / overrides). */
+    const std::vector<sim::Duration>& LeafTargets();
+
+    /** Runs the full trace and reports the Figure 8 series. */
     ClusterResult Run();
 
   private:
+    /** The resolved leaf blueprint vector (synthesized when empty). */
+    const std::vector<LeafSpec>& ResolveSpecs();
+
     ClusterConfig cfg_;
+    std::vector<LeafSpec> specs_;
     sim::Duration target_ = 0;
     sim::Duration leaf_target_ = 0;
+    std::vector<sim::Duration> leaf_targets_;
 };
 
 }  // namespace heracles::cluster

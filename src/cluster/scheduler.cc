@@ -1,0 +1,140 @@
+#include "cluster/scheduler.h"
+
+#include "sim/log.h"
+
+namespace heracles::cluster {
+
+std::string
+SchedulerPolicyName(SchedulerPolicy p)
+{
+    switch (p) {
+      case SchedulerPolicy::kStaticSplit: return "static-split";
+      case SchedulerPolicy::kGreedySlack: return "greedy-slack";
+      case SchedulerPolicy::kRoundRobin: return "round-robin";
+    }
+    return "?";
+}
+
+ClusterScheduler::ClusterScheduler(const SchedulerConfig& cfg, int jobs,
+                                   int leaves)
+    : cfg_(cfg),
+      assignment_(static_cast<size_t>(jobs), -1),
+      resident_ticks_(static_cast<size_t>(jobs), 0)
+{
+    HERACLES_CHECK_MSG(leaves > 0, "scheduler needs at least one leaf");
+    HERACLES_CHECK_MSG(jobs <= leaves,
+                       "more BE jobs (" << jobs << ") than leaves ("
+                                        << leaves << ")");
+}
+
+int
+ClusterScheduler::QueuedJobs() const
+{
+    int queued = 0;
+    for (int leaf : assignment_) queued += leaf < 0 ? 1 : 0;
+    return queued;
+}
+
+int
+ClusterScheduler::PickLeaf(const std::vector<LeafState>& leaves,
+                           const std::vector<bool>& taken) const
+{
+    const int n = static_cast<int>(leaves.size());
+    if (cfg_.policy == SchedulerPolicy::kRoundRobin) {
+        // First free leaf in rotation order, slack-blind.
+        for (int k = 0; k < n; ++k) {
+            const int i = (rr_cursor_ + k) % n;
+            if (!taken[i] && !leaves[i].in_cooldown) return i;
+        }
+        return -1;
+    }
+    // Greedy: the free, non-cooldown leaf with the most slack, provided
+    // it clears the placement floor. Ties break to the lowest index.
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+        if (taken[i] || leaves[i].in_cooldown) continue;
+        if (leaves[i].slack < cfg_.place_min_slack) continue;
+        if (best < 0 || leaves[i].slack > leaves[best].slack) best = i;
+    }
+    return best;
+}
+
+std::vector<ClusterScheduler::Move>
+ClusterScheduler::Tick(const std::vector<LeafState>& leaves)
+{
+    HERACLES_CHECK_MSG(
+        cfg_.policy != SchedulerPolicy::kStaticSplit,
+        "static-split placement is fixed at assembly; no ticks");
+    ++stats_.ticks;
+
+    std::vector<bool> taken(leaves.size(), false);
+    for (size_t i = 0; i < leaves.size(); ++i) {
+        taken[i] = leaves[i].hosts_job;
+    }
+
+    std::vector<Move> moves;
+    const int jobs = static_cast<int>(assignment_.size());
+    std::vector<bool> moved_now(static_cast<size_t>(jobs), false);
+
+    // Placements: queued jobs in index order.
+    for (int j = 0; j < jobs; ++j) {
+        if (assignment_[j] >= 0) continue;
+        const int to = PickLeaf(leaves, taken);
+        if (to < 0) continue;  // no acceptable leaf; stay queued
+        assignment_[j] = to;
+        resident_ticks_[j] = 0;
+        moved_now[j] = true;
+        taken[to] = true;
+        if (cfg_.policy == SchedulerPolicy::kRoundRobin) {
+            rr_cursor_ = (to + 1) % static_cast<int>(leaves.size());
+        }
+        moves.push_back({j, -1, to});
+        ++stats_.placements;
+    }
+
+    // Migrations: placed jobs in index order. Jobs placed this tick
+    // are settling (their LeafState predates the placement); skip them.
+    for (int j = 0; j < jobs; ++j) {
+        const int from = assignment_[j];
+        if (from < 0 || moved_now[j]) continue;
+        if (++resident_ticks_[j] < cfg_.min_resident_ticks) continue;
+        const LeafState& src = leaves[static_cast<size_t>(from)];
+        if (!src.has_signal) continue;
+
+        // A leaf that refuses to run its job (load safeguard, cooldown,
+        // collapsed slack) is a migration trigger; for greedy, so is
+        // slack below the migrate floor even while BE still runs. The
+        // source slot stays marked taken, so PickLeaf never proposes
+        // the leaf the job is trying to leave (a load-starved leaf can
+        // have plenty of latency slack).
+        const bool starved = !src.be_enabled;
+        const bool tight =
+            cfg_.policy == SchedulerPolicy::kGreedySlack &&
+            src.slack < cfg_.migrate_low_slack;
+        if (!starved && !tight) continue;
+
+        const int to = PickLeaf(leaves, taken);
+        const bool acceptable =
+            to >= 0 &&
+            (cfg_.policy == SchedulerPolicy::kRoundRobin || starved ||
+             leaves[static_cast<size_t>(to)].slack >
+                 src.slack + cfg_.migrate_min_gain);
+        if (!acceptable) continue;  // keep the job where it is
+        assignment_[j] = to;
+        resident_ticks_[j] = 0;
+        taken[to] = true;
+        // The vacated slot stays marked taken for the rest of this
+        // tick: the leaf was just proven unwilling (or too tight) to
+        // run a job, so handing it to the next migrating job would
+        // defeat the very signal that triggered the move. It becomes a
+        // candidate again next period.
+        if (cfg_.policy == SchedulerPolicy::kRoundRobin) {
+            rr_cursor_ = (to + 1) % static_cast<int>(leaves.size());
+        }
+        moves.push_back({j, from, to});
+        ++stats_.migrations;
+    }
+    return moves;
+}
+
+}  // namespace heracles::cluster

@@ -1,0 +1,78 @@
+#include "cluster/topology.h"
+
+#include "sim/log.h"
+
+namespace heracles::cluster {
+namespace {
+
+/** SplitMix64 finalizer: a cheap, well-mixed pure hash. */
+uint64_t
+Mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string
+TopologyKindName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::kFullFanout: return "full-fanout";
+      case TopologyKind::kSharded: return "sharded";
+    }
+    return "?";
+}
+
+void
+FullFanoutTopology::TouchedLeaves(uint64_t /*tag*/,
+                                  std::vector<int>* out) const
+{
+    out->clear();
+    for (int i = 0; i < leaves_; ++i) out->push_back(i);
+}
+
+ShardedTopology::ShardedTopology(int leaves, int shards, uint64_t seed)
+    : leaves_(leaves), shards_(shards), seed_(seed)
+{
+    HERACLES_CHECK_MSG(shards >= 1 && shards <= leaves,
+                       "sharded topology needs 1 <= shards <= leaves, got "
+                           << shards << " shards over " << leaves
+                           << " leaves");
+}
+
+int
+ShardedTopology::Replicas(int shard) const
+{
+    // Leaf l belongs to shard l % shards.
+    return (leaves_ - shard + shards_ - 1) / shards_;
+}
+
+void
+ShardedTopology::TouchedLeaves(uint64_t tag, std::vector<int>* out) const
+{
+    out->clear();
+    for (int shard = 0; shard < shards_; ++shard) {
+        const int replicas = Replicas(shard);
+        const uint64_t h =
+            Mix64(seed_ ^ (tag * 0x2545f4914f6cdd1dull) ^
+                  static_cast<uint64_t>(shard) * 0x9e3779b9ull);
+        const int replica = static_cast<int>(h % replicas);
+        out->push_back(shard + replica * shards_);
+    }
+}
+
+std::unique_ptr<Topology>
+MakeTopology(TopologyKind kind, int leaves, int shards, uint64_t seed)
+{
+    if (kind == TopologyKind::kFullFanout) {
+        return std::make_unique<FullFanoutTopology>(leaves);
+    }
+    return std::make_unique<ShardedTopology>(
+        leaves, shards > 0 ? shards : leaves, seed);
+}
+
+}  // namespace heracles::cluster

@@ -1,5 +1,7 @@
 #include "exp/server_sim.h"
 
+#include "sim/log.h"
+
 namespace heracles::exp {
 
 std::string
@@ -85,6 +87,27 @@ ServerSim::StopController()
         controller_->Stop();
         controller_stopped_ = true;
     }
+}
+
+workloads::BeTask*
+ServerSim::AttachBeJob(const workloads::BeProfile& profile)
+{
+    HERACLES_CHECK_MSG(be_ == nullptr,
+                       "server already hosts BE job " << be_->name());
+    be_ = std::make_unique<workloads::BeTask>(*machine_, profile);
+    plat_->AttachBeJob(be_.get());
+    return be_.get();
+}
+
+void
+ServerSim::DetachBeJob()
+{
+    if (be_ == nullptr) return;
+    if (controller_ && !controller_stopped_) {
+        controller_->OnBeJobRemoved();
+    }
+    plat_->AttachBeJob(nullptr);
+    be_.reset();
 }
 
 uint64_t

@@ -109,6 +109,21 @@ class ServerSim
     void StopController();
 
     /**
+     * Attaches a BE job at runtime (cluster-level scheduler placement).
+     * The server must currently have no BE job. The job starts paused
+     * with zero cores; the local controller admits and grows it on its
+     * own polls. Returns the created task.
+     */
+    workloads::BeTask* AttachBeJob(const workloads::BeProfile& profile);
+
+    /**
+     * Detaches the current BE job (migration / reclaim): releases its
+     * allocations through the controller, unbinds it from the platform
+     * and destroys the task. No-op without a job.
+     */
+    void DetachBeJob();
+
+    /**
      * The shared warmup/measure protocol: runs @p warmup, then resets
      * the LC statistics, BE throughput accounting and telemetry
      * averages, runs @p measure, and returns the number of LC requests

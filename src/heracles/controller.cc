@@ -61,6 +61,23 @@ HeraclesController::InCooldown() const
     return platform_.queue().Now() < cooldown_until_;
 }
 
+SlackExport
+HeraclesController::ExportSlack() const
+{
+    SlackExport e;
+    e.slack = last_slack_;
+    e.be_enabled = be_enabled_;
+    e.in_cooldown = InCooldown();
+    e.has_signal = has_signal_;
+    return e;
+}
+
+void
+HeraclesController::OnBeJobRemoved()
+{
+    DisableBE();
+}
+
 void
 HeraclesController::DisableBE()
 {
@@ -93,6 +110,7 @@ HeraclesController::TopTick()
     // Before the first latency window completes there is nothing to act
     // on; leave BE disabled rather than guessing.
     if (latency <= 0) return;
+    has_signal_ = true;
 
     const double slack =
         (target - static_cast<double>(latency)) / target;

@@ -35,6 +35,19 @@ struct ControllerStats {
 };
 
 /**
+ * Snapshot of the controller's latest poll, exported for cluster-level
+ * schedulers: per-leaf latency slack plus the BE-occupancy facts a
+ * placement policy needs (is BE actually running here, is the leaf in a
+ * post-violation cooldown, has the controller seen latency data yet).
+ */
+struct SlackExport {
+    double slack = 1.0;        ///< (target - tail) / target, last poll.
+    bool be_enabled = false;   ///< BE currently admitted on this server.
+    bool in_cooldown = false;  ///< LC-only recovery window active.
+    bool has_signal = false;   ///< At least one poll saw latency data.
+};
+
+/**
  * The per-server Heracles instance: one LC workload, one (elastic) BE
  * job, four isolation mechanisms.
  */
@@ -59,11 +72,22 @@ class HeraclesController
     /** Cancels all control loops. */
     void Stop();
 
+    /**
+     * Notifies the controller that its BE job is being taken away by a
+     * cluster-level scheduler (migration / reclaim): releases every BE
+     * allocation exactly like a safeguard disable, but without counting
+     * as one — the decision came from above, not from this controller.
+     * The platform's BE job must still be attached when called.
+     */
+    void OnBeJobRemoved();
+
     // --- Inspection ---------------------------------------------------------
     bool BeEnabled() const { return be_enabled_; }
     bool InCooldown() const;
     bool CanGrowBe() const { return can_grow_be_; }
     double LastSlack() const { return last_slack_; }
+    /** Slack + BE-occupancy snapshot for cluster-level scheduling. */
+    SlackExport ExportSlack() const;
     const ControllerStats& stats() const { return stats_; }
     const CoreMemController& core_mem() const { return *core_mem_; }
     const PowerController& power() const { return *power_; }
@@ -85,6 +109,7 @@ class HeraclesController
     bool be_enabled_ = false;
     bool can_grow_be_ = false;
     double last_slack_ = 1.0;
+    bool has_signal_ = false;
     sim::SimTime cooldown_until_ = 0;
     ControllerStats stats_;
 

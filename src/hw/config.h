@@ -56,6 +56,29 @@ struct MachineConfig {
     uint64_t seed = 1;
 
     // --- Derived helpers ----------------------------------------------------
+    /** Field-wise equality (seed included) — keep in sync when adding
+     *  fields. Clusters dedupe per-machine baselines through this. */
+    bool
+    operator==(const MachineConfig& o) const
+    {
+        return sockets == o.sockets &&
+               cores_per_socket == o.cores_per_socket &&
+               threads_per_core == o.threads_per_core &&
+               nominal_ghz == o.nominal_ghz && min_ghz == o.min_ghz &&
+               turbo_1c_ghz == o.turbo_1c_ghz &&
+               turbo_slope_ghz == o.turbo_slope_ghz &&
+               dvfs_step_ghz == o.dvfs_step_ghz && tdp_w == o.tdp_w &&
+               uncore_w == o.uncore_w && core_idle_w == o.core_idle_w &&
+               dyn_coeff_w == o.dyn_coeff_w && dyn_exp == o.dyn_exp &&
+               llc_mb_per_socket == o.llc_mb_per_socket &&
+               llc_ways == o.llc_ways &&
+               dram_gbps_per_socket == o.dram_gbps_per_socket &&
+               dram_knee == o.dram_knee && nic_gbps == o.nic_gbps &&
+               epoch == o.epoch && counter_noise == o.counter_noise &&
+               seed == o.seed;
+    }
+    bool operator!=(const MachineConfig& o) const { return !(*this == o); }
+
     int TotalCores() const { return sockets * cores_per_socket; }
     int LogicalCpus() const {
         return TotalCores() * threads_per_core;

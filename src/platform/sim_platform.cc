@@ -24,6 +24,14 @@ SimPlatform::ApplyInitialPlacement()
 }
 
 void
+SimPlatform::AttachBeJob(workloads::BeTask* be)
+{
+    be_ = be;
+    be_cores_ = 0;
+    be_ways_ = 0;
+}
+
+void
 SimPlatform::ApplyCpusets()
 {
     const auto& topo = machine_.topology();

@@ -48,6 +48,16 @@ class SimPlatform : public Platform
     /** Applies the initial placement: all cores to LC, BE disabled. */
     void ApplyInitialPlacement();
 
+    /**
+     * Rebinds the platform to a different (or no) BE job at runtime —
+     * the hook a cluster-level scheduler uses to move jobs between
+     * leaves. The caller must have released the outgoing job's
+     * allocations first (HeraclesController::OnBeJobRemoved does);
+     * the incoming job starts with zero cores/ways until the local
+     * controller admits it.
+     */
+    void AttachBeJob(workloads::BeTask* be);
+
     // --- Platform ------------------------------------------------------------
     sim::EventQueue& queue() override { return machine_.queue(); }
 

@@ -150,6 +150,116 @@ BuildCatalog()
         "centralized controller converts root slack into leaf targets",
         /*colocate=*/true, /*central=*/true, 33));
 
+    // --- composable clusters: heterogeneous leaves, sharding, the
+    // --- cluster-level BE scheduler --------------------------------------
+    // The heterogeneous mix shared by the scheduler scenarios: two
+    // paper-class leaves and two wide high-memory leaves granted extra
+    // tail headroom, serving websearch and ml_cluster side by side.
+    // ml_cluster's lower peak_qps makes its leaves systematically
+    // tighter under the shared root query stream — exactly the
+    // asymmetry a slack-aware scheduler can exploit and a static
+    // pinning cannot.
+    const std::vector<ClusterLeafTemplate> hetero_mix = {
+        {"websearch", "default", 1.0},
+        {"ml_cluster", "default", 1.0},
+        {"websearch", "big", 1.2},
+        {"ml_cluster", "big", 1.2},
+    };
+    {
+        ScenarioSpec s = Cluster(
+            "cluster_hetero_static",
+            "heterogeneous leaf mix, BE jobs pinned static-split",
+            /*colocate=*/true, /*central=*/false, 34);
+        s.leaf_mix = hetero_mix;
+        s.be = "brain+streetview";
+        s.be_jobs = {"brain", "streetview"};
+        s.per_leaf_targets = true;
+        s.leaves = 4;
+        s.fixed_leaves = true;
+        s.cluster_duration = sim::Minutes(8);
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Cluster(
+            "cluster_hetero_greedy_diurnal",
+            "same mix, greedy most-slack-first scheduler placing the jobs",
+            /*colocate=*/true, /*central=*/false, 34);
+        s.leaf_mix = hetero_mix;
+        s.be = "brain+streetview";
+        s.be_jobs = {"brain", "streetview"};
+        s.scheduler = cluster::SchedulerPolicy::kGreedySlack;
+        s.per_leaf_targets = true;
+        s.leaves = 4;
+        s.fixed_leaves = true;
+        s.cluster_duration = sim::Minutes(8);
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Cluster(
+            "cluster_websearch_sharded",
+            "2-shard/2-replica root: each query touches half the leaves",
+            /*colocate=*/true, /*central=*/false, 35);
+        s.shards = 2;
+        s.leaves = 4;
+        s.fixed_leaves = true;
+        s.cluster_duration = sim::Minutes(8);
+        // Partial fan-out halves each leaf's load, and the root maximum
+        // runs over two leaves instead of four — so the operator grants
+        // every leaf extra tail headroom over the (already low-load)
+        // derived target, which is what lets BE colocate at all on
+        // leaves whose windowed tail barely moves with load.
+        s.leaf_mix = {{"websearch", "default", 1.15}};
+        s.be_jobs = {"brain", "streetview", "brain", "streetview"};
+        all.push_back(s);
+    }
+    // The flash-crowd ablation pair runs the same machines/workloads
+    // without the extra tail headroom of the diurnal pair: during a
+    // burst the loosely-defended big leaves would exceed the root
+    // budget, and the ablation's subject is the scheduler's reaction,
+    // not the headroom policy.
+    const std::vector<ClusterLeafTemplate> flash_mix = {
+        {"websearch", "default", 1.0},
+        {"ml_cluster", "default", 1.0},
+        {"websearch", "big", 1.0},
+        {"ml_cluster", "big", 1.0},
+    };
+    {
+        ScenarioSpec s = Cluster(
+            "cluster_hetero_greedy_flashcrowd",
+            "scheduler ablation A: greedy rides out a flash crowd",
+            /*colocate=*/true, /*central=*/false, 36);
+        s.trace = TraceKind::kFlashCrowd;
+        s.load = 0.30;
+        s.load_high = 0.88;
+        s.leaf_mix = flash_mix;
+        s.be = "brain+streetview";
+        s.be_jobs = {"brain", "streetview"};
+        s.scheduler = cluster::SchedulerPolicy::kGreedySlack;
+        s.per_leaf_targets = true;
+        s.leaves = 4;
+        s.fixed_leaves = true;
+        s.cluster_duration = sim::Minutes(6);
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Cluster(
+            "cluster_hetero_rr_flashcrowd",
+            "scheduler ablation B: slack-blind round-robin, same crowd",
+            /*colocate=*/true, /*central=*/false, 36);
+        s.trace = TraceKind::kFlashCrowd;
+        s.load = 0.30;
+        s.load_high = 0.88;
+        s.leaf_mix = flash_mix;
+        s.be = "brain+streetview";
+        s.be_jobs = {"brain", "streetview"};
+        s.scheduler = cluster::SchedulerPolicy::kRoundRobin;
+        s.per_leaf_targets = true;
+        s.leaves = 4;
+        s.fixed_leaves = true;
+        s.cluster_duration = sim::Minutes(6);
+        all.push_back(s);
+    }
+
     return all;
 }
 
@@ -176,7 +286,15 @@ const ScenarioSpec&
 MustFindScenario(const std::string& name)
 {
     const ScenarioSpec* s = FindScenario(name);
-    if (s == nullptr) HERACLES_FATAL("unknown scenario: " << name);
+    if (s == nullptr) {
+        std::string names;
+        for (const ScenarioSpec& spec : AllScenarios()) {
+            names += "\n  ";
+            names += spec.name;
+        }
+        HERACLES_FATAL("unknown scenario: " << name
+                                            << "; available:" << names);
+    }
     return *s;
 }
 

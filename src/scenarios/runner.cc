@@ -171,6 +171,8 @@ RunCluster(const ScenarioSpec& spec, const RunOptions& opts)
     m.act_set_ways = static_cast<double>(r.actuations.set_ways);
     m.act_set_freq_cap = static_cast<double>(r.actuations.set_freq_cap);
     m.act_set_net_ceil = static_cast<double>(r.actuations.set_net_ceil);
+    m.be_placements = static_cast<double>(r.be_placements);
+    m.be_migrations = static_cast<double>(r.be_migrations);
 
     m.root_target_ms = sim::ToMillis(r.target);
     m.leaf_target_ms = sim::ToMillis(r.leaf_target);
@@ -240,21 +242,72 @@ ClusterConfigFor(const ScenarioSpec& spec, const RunOptions& opts)
 {
     HERACLES_CHECK_MSG(spec.topology == Topology::kCluster,
                        "not a cluster scenario: " << spec.name);
-    // The cluster experiment always drives its load_low..load_high
-    // diurnal trace; any other declared shape would silently not match
-    // the scenario's self-description.
-    HERACLES_CHECK_MSG(spec.trace == TraceKind::kDiurnal,
-                       "cluster scenario " << spec.name
-                                           << " must use a diurnal trace");
+    // The cluster experiment drives a load_low..load_high diurnal swing
+    // or a flash-crowd burst; any other declared shape would silently
+    // not match the scenario's self-description.
+    HERACLES_CHECK_MSG(spec.trace == TraceKind::kDiurnal ||
+                           spec.trace == TraceKind::kFlashCrowd,
+                       "cluster scenario "
+                           << spec.name
+                           << " must use a diurnal or flash-crowd trace");
     cluster::ClusterConfig cfg;
-    cfg.leaves =
-        opts.cluster_leaves > 0 ? opts.cluster_leaves : spec.leaves;
+    cfg.leaves = opts.cluster_leaves > 0 && !spec.fixed_leaves
+                     ? opts.cluster_leaves
+                     : spec.leaves;
     cfg.machine = spec.machine;
     cfg.lc = LcByName(spec.lc);
     cfg.heracles = spec.heracles;
     cfg.colocate = spec.colocate;
+    cfg.flash_crowd = spec.trace == TraceKind::kFlashCrowd;
     cfg.load_low = spec.load;
     cfg.load_high = spec.load_high;
+
+    // Heterogeneous composition: cycle the leaf mix over the leaf
+    // count, resolving workload and machine-variant names. An empty
+    // mix leaves cfg.leaf_specs empty and the cluster synthesizes the
+    // paper's uniform brain/streetview leaves.
+    for (int i = 0; i < cfg.leaves && !spec.leaf_mix.empty(); ++i) {
+        const ClusterLeafTemplate& t =
+            spec.leaf_mix[i % spec.leaf_mix.size()];
+        cluster::LeafSpec leaf;
+        leaf.machine = MachineVariant(t.machine);
+        leaf.lc = LcByName(t.lc);
+        leaf.tail_scale = t.tail_scale;
+        cfg.leaf_specs.push_back(std::move(leaf));
+    }
+    if (spec.shards > 0) {
+        cfg.topology = cluster::TopologyKind::kSharded;
+        cfg.shards = spec.shards;
+    }
+    cfg.scheduler.policy = spec.scheduler;
+    cfg.per_leaf_targets = spec.per_leaf_targets;
+    if (!spec.be_jobs.empty()) {
+        // Cluster-wide jobs are sized against the scenario's root
+        // machine in *both* scheduler arms: a pinned job and a queued
+        // job with the same name must be the same job, or a scheduler
+        // ablation would silently compare different workloads
+        // (machine-dependent profiles like stream-llc size their
+        // footprint from the machine they are resolved against).
+        std::vector<workloads::BeProfile> jobs;
+        for (const std::string& name : spec.be_jobs) {
+            jobs.push_back(workloads::BeProfileByName(spec.machine, name));
+        }
+        if (spec.scheduler == cluster::SchedulerPolicy::kStaticSplit) {
+            // Static split ≡ today's behavior: job j pinned to leaf j.
+            HERACLES_CHECK_MSG(
+                !cfg.leaf_specs.empty(),
+                "scenario " << spec.name
+                            << ": static-split be_jobs need a leaf_mix");
+            HERACLES_CHECK_MSG(
+                jobs.size() <= cfg.leaf_specs.size(),
+                "scenario " << spec.name << ": more BE jobs than leaves");
+            for (size_t j = 0; j < jobs.size(); ++j) {
+                cfg.leaf_specs[j].be = std::move(jobs[j]);
+            }
+        } else {
+            cfg.be_jobs = std::move(jobs);
+        }
+    }
     cfg.duration =
         Scale(spec.cluster_duration, opts.time_scale, sim::Seconds(150));
     cfg.target_run =

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/scheduler.h"
 #include "exp/server_sim.h"
 #include "heracles/config.h"
 #include "hw/config.h"
@@ -44,6 +45,25 @@ std::string TopologyName(Topology t);
 
 /** Human-readable trace-kind name ("constant", "step", ...). */
 std::string TraceKindName(TraceKind k);
+
+/**
+ * Named machine shapes for heterogeneous clusters: "default" is the
+ * paper's dual-socket Haswell-EP class server, "small" a half-width
+ * edge box, "big" a wider high-memory server. Aborts on unknown names.
+ */
+hw::MachineConfig MachineVariant(const std::string& name);
+
+/**
+ * One slot of a cluster's leaf mix: LC workload × machine shape ×
+ * tail-target scale. A scenario's leaf_mix is cycled over its leaf
+ * count, so the same mix composes clusters of any size.
+ */
+struct ClusterLeafTemplate {
+    std::string lc = "websearch";
+    std::string machine = "default";  ///< MachineVariant() name.
+    /** Multiplier on the leaf's derived tail target (headroom policy). */
+    double tail_scale = 1.0;
+};
 
 /**
  * Blueprint of one end-to-end scenario. Everything, including the
@@ -83,6 +103,33 @@ struct ScenarioSpec {
     /** Enable the centralized root controller (paper's future work). */
     bool central_controller = false;
     sim::Duration cluster_duration = sim::Minutes(10);
+
+    /**
+     * Heterogeneous leaf composition, cycled over `leaves`. Empty =
+     * the paper's uniform cluster (every leaf runs `lc` on `machine`,
+     * brain/streetview pinned alternately).
+     */
+    std::vector<ClusterLeafTemplate> leaf_mix;
+    /** Shard count (> 0 switches the root to the sharded topology). */
+    int shards = 0;
+    /** Cluster-level BE scheduling policy. */
+    cluster::SchedulerPolicy scheduler =
+        cluster::SchedulerPolicy::kStaticSplit;
+    /**
+     * Cluster-wide BE job queue by name. With the static split, job j
+     * is pinned to leaf j (today's behavior); greedy/round-robin place
+     * and migrate these at runtime. Empty = the uniform cluster's
+     * alternating brain/streetview pinning.
+     */
+    std::vector<std::string> be_jobs;
+    /** Derive tail targets per leaf (required for mixed-LC leaves). */
+    bool per_leaf_targets = false;
+    /**
+     * Keep the spec's exact leaf count even under
+     * RunOptions::cluster_leaves — set on scenarios whose leaf mix or
+     * shard shape the override would distort.
+     */
+    bool fixed_leaves = false;
 
     /**
      * True for scenarios whose *point* is an SLO violation (e.g. the
@@ -138,6 +185,12 @@ struct ScenarioMetrics {
     // --- Final state -------------------------------------------------------
     double be_cores = 0.0;
     double be_ways = 0.0;
+
+    // --- Cluster-level scheduler activity ---------------------------------
+    // Zero for single-server scenarios and the static split; optional
+    // in baselines written before these metrics existed (parsed as 0).
+    double be_placements = 0.0;
+    double be_migrations = 0.0;
 
     // --- Cluster targets ---------------------------------------------------
     double root_target_ms = 0.0;

@@ -50,6 +50,26 @@ struct BeProfile {
     bool memory_bound = false;
     /** Network-bound: throughput tracks granted egress bandwidth. */
     bool network_bound = false;
+
+    /** Field-wise equality — keep in sync when adding fields. Clusters
+     *  dedupe per-job alone-rate baselines through this (a same-named
+     *  profile resolved against a different machine can differ). */
+    bool
+    operator==(const BeProfile& o) const
+    {
+        return name == o.name && footprint_mb == o.footprint_mb &&
+               weight_per_core == o.weight_per_core &&
+               dram_per_core_gbps == o.dram_per_core_gbps &&
+               dram_compulsory_frac == o.dram_compulsory_frac &&
+               power_intensity == o.power_intensity &&
+               ht_aggression == o.ht_aggression &&
+               net_demand_gbps == o.net_demand_gbps &&
+               cache_rate_floor == o.cache_rate_floor &&
+               freq_sensitivity == o.freq_sensitivity &&
+               memory_bound == o.memory_bound &&
+               network_bound == o.network_bound;
+    }
+    bool operator!=(const BeProfile& o) const { return !(*this == o); }
 };
 
 /** A best-effort task colocated with the LC service. */

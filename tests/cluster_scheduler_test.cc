@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the composable cluster layer: the pure scheduler decision
+ * engine, the pluggable topologies, and the end-to-end guarantees the
+ * refactor must keep — static-split byte-equivalence with the
+ * pre-refactor cluster on the checked-in goldens, placement determinism
+ * under a fixed seed, and the greedy scheduler's EMU win over the
+ * static split on the heterogeneous diurnal scenario.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cluster/scheduler.h"
+#include "cluster/topology.h"
+#include "scenarios/registry.h"
+#include "scenarios/runner.h"
+
+namespace heracles {
+namespace {
+
+using cluster::ClusterScheduler;
+using cluster::SchedulerConfig;
+using cluster::SchedulerPolicy;
+
+using LeafState = ClusterScheduler::LeafState;
+using Move = ClusterScheduler::Move;
+
+LeafState
+Idle(double slack)
+{
+    LeafState s;
+    s.slack = slack;
+    s.has_signal = true;
+    return s;
+}
+
+LeafState
+Hosting(double slack, bool be_enabled)
+{
+    LeafState s = Idle(slack);
+    s.hosts_job = true;
+    s.be_enabled = be_enabled;
+    return s;
+}
+
+// --------------------------------------------------------------------------
+// ClusterScheduler: pure decision engine
+
+TEST(Scheduler, GreedyPlacesOnMostSlackFirst)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    ClusterScheduler sched(cfg, /*jobs=*/2, /*leaves=*/4);
+
+    const auto moves = sched.Tick(
+        {Idle(0.2), Idle(0.5), Idle(0.9), Idle(0.4)});
+    ASSERT_EQ(moves.size(), 2u);
+    EXPECT_EQ(moves[0].job, 0);
+    EXPECT_EQ(moves[0].from, -1);
+    EXPECT_EQ(moves[0].to, 2);  // most slack
+    EXPECT_EQ(moves[1].job, 1);
+    EXPECT_EQ(moves[1].to, 1);  // next-most among free leaves
+    EXPECT_EQ(sched.stats().placements, 2u);
+    EXPECT_EQ(sched.stats().migrations, 0u);
+    EXPECT_EQ(sched.QueuedJobs(), 0);
+}
+
+TEST(Scheduler, GreedyHoldsJobsBelowPlacementFloor)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    ClusterScheduler sched(cfg, 2, 3);
+
+    EXPECT_TRUE(sched.Tick({Idle(0.05), Idle(0.08), Idle(0.02)}).empty());
+    EXPECT_EQ(sched.QueuedJobs(), 2);
+
+    // Slack recovers on one leaf: exactly one job leaves the queue.
+    const auto moves = sched.Tick({Idle(0.05), Idle(0.4), Idle(0.02)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].to, 1);
+    EXPECT_EQ(sched.QueuedJobs(), 1);
+}
+
+TEST(Scheduler, GreedySkipsCooldownLeaves)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    ClusterScheduler sched(cfg, 1, 2);
+
+    LeafState cooling = Idle(0.9);
+    cooling.in_cooldown = true;
+    const auto moves = sched.Tick({cooling, Idle(0.3)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].to, 1);
+}
+
+TEST(Scheduler, GreedyMigratesAwayFromStarvedLeafAfterResidency)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    cfg.min_resident_ticks = 2;
+    ClusterScheduler sched(cfg, 1, 3);
+
+    ASSERT_EQ(sched.Tick({Idle(0.8), Idle(0.3), Idle(0.2)}).size(), 1u);
+    ASSERT_EQ(sched.LeafOf(0), 0);
+
+    // The hosting leaf stops running BE (load safeguard): no move on
+    // the first starved tick (residency), migration on the second.
+    EXPECT_TRUE(
+        sched.Tick({Hosting(0.8, false), Idle(0.3), Idle(0.2)}).empty());
+    const auto moves =
+        sched.Tick({Hosting(0.8, false), Idle(0.3), Idle(0.2)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].from, 0);
+    EXPECT_EQ(moves[0].to, 1);
+    EXPECT_EQ(sched.stats().migrations, 1u);
+    EXPECT_EQ(sched.LeafOf(0), 1);
+}
+
+TEST(Scheduler, GreedySlackMigrationNeedsHysteresisGain)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    cfg.min_resident_ticks = 1;
+    ClusterScheduler sched(cfg, 1, 2);
+
+    ASSERT_EQ(sched.Tick({Idle(0.5), Idle(0.4)}).size(), 1u);
+
+    // Source slack collapsed below the migrate floor, but BE still
+    // runs and the destination is not better by migrate_min_gain.
+    EXPECT_TRUE(sched.Tick({Hosting(0.04, true), Idle(0.1)}).empty());
+    // A clearly better destination: the job moves.
+    const auto moves = sched.Tick({Hosting(0.04, true), Idle(0.5)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].from, 0);
+    EXPECT_EQ(moves[0].to, 1);
+}
+
+TEST(Scheduler, RoundRobinIgnoresSlackAndRotates)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kRoundRobin;
+    cfg.min_resident_ticks = 1;
+    ClusterScheduler sched(cfg, 2, 4);
+
+    // Placement ignores slack: jobs land on leaves 0 and 1 even though
+    // leaf 3 has far more slack.
+    const auto moves =
+        sched.Tick({Idle(0.02), Idle(0.05), Idle(0.1), Idle(0.9)});
+    ASSERT_EQ(moves.size(), 2u);
+    EXPECT_EQ(moves[0].to, 0);
+    EXPECT_EQ(moves[1].to, 1);
+
+    // A starved job moves to the next leaf in rotation, not the best.
+    const auto mig = sched.Tick({Hosting(0.02, false),
+                                 Hosting(0.05, true), Idle(0.1),
+                                 Idle(0.9)});
+    ASSERT_EQ(mig.size(), 1u);
+    EXPECT_EQ(mig[0].from, 0);
+    EXPECT_EQ(mig[0].to, 2);
+    EXPECT_EQ(sched.stats().placements, 2u);
+    EXPECT_EQ(sched.stats().migrations, 1u);
+}
+
+TEST(Scheduler, CounterAccountingMatchesMoves)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    cfg.min_resident_ticks = 1;
+    ClusterScheduler sched(cfg, 2, 3);
+
+    uint64_t placements = 0, migrations = 0;
+    std::vector<std::vector<LeafState>> rounds = {
+        {Idle(0.5), Idle(0.3), Idle(0.02)},
+        {Hosting(0.5, false), Hosting(0.3, true), Idle(0.4)},
+        {Idle(0.5), Hosting(0.3, true), Hosting(0.4, false)},
+        {Hosting(0.6, true), Hosting(0.3, true), Idle(0.4)},
+    };
+    for (auto& r : rounds) {
+        // Keep hosts_job consistent with the engine's own assignment.
+        for (size_t i = 0; i < r.size(); ++i) {
+            bool hosts = false;
+            for (int j = 0; j < 2; ++j) {
+                hosts |= sched.LeafOf(j) == static_cast<int>(i);
+            }
+            r[i].hosts_job = hosts;
+        }
+        for (const Move& m : sched.Tick(r)) {
+            if (m.from < 0) {
+                ++placements;
+            } else {
+                ++migrations;
+            }
+        }
+    }
+    EXPECT_EQ(sched.stats().placements, placements);
+    EXPECT_EQ(sched.stats().migrations, migrations);
+    EXPECT_EQ(sched.stats().ticks, rounds.size());
+}
+
+TEST(SchedulerDeath, StaticSplitNeverTicks)
+{
+    SchedulerConfig cfg;  // kStaticSplit
+    ClusterScheduler sched(cfg, 1, 2);
+    EXPECT_DEATH(sched.Tick({Idle(0.5), Idle(0.5)}), "static-split");
+}
+
+TEST(SchedulerDeath, RejectsMoreJobsThanLeaves)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    EXPECT_DEATH(ClusterScheduler(cfg, 3, 2), "more BE jobs");
+}
+
+// --------------------------------------------------------------------------
+// Topologies
+
+TEST(Topology, FullFanoutTouchesEveryLeaf)
+{
+    cluster::FullFanoutTopology topo(5);
+    std::vector<int> touched;
+    topo.TouchedLeaves(17, &touched);
+    EXPECT_EQ(touched, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(topo.FanOut(), 5);
+}
+
+TEST(Topology, ShardedTouchesOneReplicaPerShard)
+{
+    cluster::ShardedTopology topo(/*leaves=*/6, /*shards=*/3, /*seed=*/7);
+    std::vector<int> touched;
+    for (uint64_t tag = 1; tag <= 200; ++tag) {
+        topo.TouchedLeaves(tag, &touched);
+        ASSERT_EQ(touched.size(), 3u);
+        for (int s = 0; s < 3; ++s) {
+            // The s-th entry serves shard s: leaf index ≡ s (mod 3).
+            EXPECT_EQ(touched[s] % 3, s);
+            EXPECT_LT(touched[s], 6);
+        }
+    }
+}
+
+TEST(Topology, ShardedIsDeterministicAndUsesAllReplicas)
+{
+    cluster::ShardedTopology a(8, 2, 42), b(8, 2, 42);
+    std::set<int> seen;
+    std::vector<int> ta, tb;
+    for (uint64_t tag = 1; tag <= 500; ++tag) {
+        a.TouchedLeaves(tag, &ta);
+        b.TouchedLeaves(tag, &tb);
+        EXPECT_EQ(ta, tb);
+        seen.insert(ta.begin(), ta.end());
+    }
+    EXPECT_EQ(seen.size(), 8u) << "some replica never selected";
+}
+
+TEST(Topology, ShardsEqualLeavesDegeneratesToFullFanout)
+{
+    cluster::ShardedTopology topo(4, 4, 9);
+    std::vector<int> touched;
+    topo.TouchedLeaves(123, &touched);
+    EXPECT_EQ(touched, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// --------------------------------------------------------------------------
+// End-to-end guarantees (golden-scale scenario runs, cached)
+
+const scenarios::ScenarioMetrics&
+GoldenRun(const std::string& name)
+{
+    static std::map<std::string, scenarios::ScenarioMetrics>* cache =
+        new std::map<std::string, scenarios::ScenarioMetrics>();
+    auto it = cache->find(name);
+    if (it == cache->end()) {
+        it = cache
+                 ->emplace(name,
+                           scenarios::RunScenario(
+                               scenarios::MustFindScenario(name),
+                               scenarios::RunOptions::Golden()))
+                 .first;
+    }
+    return it->second;
+}
+
+/**
+ * The refactor's ground rule: a static-split, full-fan-out cluster must
+ * reproduce the pre-refactor ClusterExperiment bit for bit. The
+ * checked-in cluster_websearch_* goldens were generated by the old
+ * implementation, so comparing *exactly* (not within tolerance) proves
+ * byte-equivalence of every metric.
+ */
+TEST(ClusterRefactor, StaticSplitByteIdenticalToPreRefactorGoldens)
+{
+    for (const char* name :
+         {"cluster_websearch_heracles", "cluster_websearch_baseline",
+          "cluster_websearch_central"}) {
+        std::ifstream in(std::string(HERACLES_GOLDEN_DIR) + "/" + name +
+                         ".json");
+        ASSERT_TRUE(in.good()) << name;
+        std::stringstream buf;
+        buf << in.rdbuf();
+        scenarios::ScenarioMetrics golden;
+        ASSERT_TRUE(scenarios::MetricsFromJson(buf.str(), &golden))
+            << name;
+        EXPECT_TRUE(GoldenRun(name).ExactlyEquals(golden))
+            << name << " diverged from the pre-refactor baseline";
+    }
+}
+
+TEST(ClusterRefactor, GreedyPlacementDeterministicUnderFixedSeed)
+{
+    const scenarios::ScenarioSpec& spec =
+        scenarios::MustFindScenario("cluster_hetero_greedy_diurnal");
+    const scenarios::ScenarioMetrics a =
+        scenarios::RunScenario(spec, scenarios::RunOptions::Golden());
+    const scenarios::ScenarioMetrics& b =
+        GoldenRun("cluster_hetero_greedy_diurnal");
+    EXPECT_TRUE(a.ExactlyEquals(b))
+        << "scheduler placements not reproducible from the seed";
+    EXPECT_GE(a.be_placements, 2.0) << "both queued jobs should place";
+}
+
+TEST(ClusterRefactor, UniformClusterDerivesOneLeafTarget)
+{
+    // The paper's uniform cluster defends one tail target on every
+    // leaf: the per-leaf vector must be constant and equal to the
+    // reported mean.
+    cluster::ClusterExperiment e(scenarios::ClusterConfigFor(
+        scenarios::MustFindScenario("cluster_websearch_heracles"),
+        scenarios::RunOptions::Golden()));
+    const std::vector<sim::Duration>& targets = e.LeafTargets();
+    ASSERT_EQ(targets.size(), 3u);
+    for (sim::Duration t : targets) {
+        EXPECT_GT(t, 0);
+        EXPECT_EQ(t, e.LeafTarget());
+    }
+}
+
+TEST(ClusterRefactor, GreedyBeatsStaticSplitOnHeteroDiurnal)
+{
+    const scenarios::ScenarioMetrics& greedy =
+        GoldenRun("cluster_hetero_greedy_diurnal");
+    const scenarios::ScenarioMetrics& pinned =
+        GoldenRun("cluster_hetero_static");
+    EXPECT_EQ(greedy.slo_attained, 1.0) << "greedy violated the root SLO";
+    EXPECT_GT(greedy.emu, pinned.emu)
+        << "slack-aware placement should strictly beat the static split";
+}
+
+}  // namespace
+}  // namespace heracles

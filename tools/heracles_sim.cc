@@ -38,6 +38,7 @@
 #include "runner/pool.h"
 #include "scenarios/registry.h"
 #include "scenarios/runner.h"
+#include "sim/log.h"
 
 using namespace heracles;
 
@@ -100,6 +101,30 @@ UnexpectedViolation(const scenarios::ScenarioSpec& spec,
     return m.slo_attained == 0.0 && !spec.expect_slo_violation;
 }
 
+/**
+ * A metrics record as JSON with the run's unexpected-violation verdict
+ * appended as a top-level key — the same count the perf record tracks
+ * (docs/performance.md), visible at any --scale. Reporting only: the
+ * metrics themselves (and the golden baselines) are unchanged.
+ */
+std::string
+MetricsJsonWithVerdict(const scenarios::ScenarioMetrics& m, int unexpected)
+{
+    std::string one = scenarios::MetricsToJson(m);
+    // MetricsToJson ends "...\n  }\n}\n"; splice before the final '}'.
+    // A format drift must fail loudly here, not silently drop the key
+    // CI asserts on.
+    const std::string tail = "}\n}\n";
+    HERACLES_CHECK_MSG(
+        one.size() >= tail.size() &&
+            one.compare(one.size() - tail.size(), tail.size(), tail) == 0,
+        "MetricsToJson layout changed; update MetricsJsonWithVerdict");
+    one.resize(one.size() - 3);  // keep "...}\n  }"
+    one += ",\n  \"unexpected_slo_violations\": " +
+           std::to_string(unexpected) + "\n}\n";
+    return one;
+}
+
 /** Runs --scenario NAME|all; returns the process exit code. */
 int
 RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
@@ -108,16 +133,22 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
     if (name == "all") {
         const auto& specs = scenarios::AllScenarios();
         const auto results = scenarios::RunScenarios(specs, opts, jobs);
+        int unexpected = 0;
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (UnexpectedViolation(specs[i], results[i])) ++unexpected;
+        }
         if (json) {
-            // One JSON array so the output parses as a single document.
-            std::printf("[\n");
+            // One JSON document: the per-scenario records plus the
+            // catalog-level unexpected-violation count.
+            std::printf("{\n\"scenarios\": [\n");
             for (size_t i = 0; i < results.size(); ++i) {
                 std::string one = scenarios::MetricsToJson(results[i]);
                 if (!one.empty() && one.back() == '\n') one.pop_back();
                 std::printf("%s%s\n", one.c_str(),
                             i + 1 < results.size() ? "," : "");
             }
-            std::printf("]\n");
+            std::printf("],\n\"unexpected_slo_violations\": %d\n}\n",
+                        unexpected);
         } else {
             exp::Table table({"scenario", "tail (% target)", "SLO ok",
                               "EMU", "BE disables"});
@@ -135,10 +166,7 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
             }
             table.Print();
         }
-        for (size_t i = 0; i < results.size(); ++i) {
-            if (UnexpectedViolation(specs[i], results[i])) return 1;
-        }
-        return 0;
+        return unexpected > 0 ? 1 : 0;
     }
 
     const scenarios::ScenarioSpec* spec = scenarios::FindScenario(name);
@@ -149,12 +177,14 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
         return 2;
     }
     const auto m = scenarios::RunScenario(*spec, opts);
+    const bool unexpected = UnexpectedViolation(*spec, m);
     if (json) {
-        std::fputs(scenarios::MetricsToJson(m).c_str(), stdout);
+        std::fputs(MetricsJsonWithVerdict(m, unexpected ? 1 : 0).c_str(),
+                   stdout);
     } else {
         PrintMetrics(m);
     }
-    return UnexpectedViolation(*spec, m) ? 1 : 0;
+    return unexpected ? 1 : 0;
 }
 
 /** Parses "0.1,0.3,0.5" (or "paper") into load fractions. */
