@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * A FaultPlan is a seeded list of timed injections describing how a run
+ * degrades: actuator calls silently dropped (a stuck cgroup/MSR/qdisc
+ * write path), telemetry frozen or noised (a wedged metrics endpoint, a
+ * flaky counter), the colocated BE job abruptly turning into a much
+ * heavier antagonist (the CPI2 / Bubble-Flux "abrupt interference"
+ * regime), and — at the cluster layer — leaves crashing and recovering
+ * or exporting frozen slack to the cluster scheduler.
+ *
+ * Fault windows are expressed as *fractions* of the run they attach to,
+ * so one plan means the same thing at full scale and at the golden
+ * harness's reduced scale; Resolve() turns a plan into absolute
+ * simulated times for one server (or one cluster leaf). A plan is pure
+ * data: applying it never consumes a simulation RNG stream, and an
+ * empty (or never-active) plan is byte-identical to no plan at all.
+ */
+#ifndef HERACLES_CHAOS_FAULT_PLAN_H
+#define HERACLES_CHAOS_FAULT_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace heracles::chaos {
+
+/** Actuator channels a fault can disable. */
+enum class Actuator { kCores, kWays, kFreqCap, kNetCeil };
+
+/** Monitor channels a fault can degrade. */
+enum class Monitor { kTail, kFastTail, kLoad, kDram, kPower };
+
+/** What a fault does while its window is active. */
+enum class FaultKind {
+    kActuatorDrop,  ///< Set* calls on the channel are silently dropped.
+    kFreeze,        ///< Monitor reads hold the first in-window value.
+    kNoise,         ///< Monitor reads gain multiplicative noise.
+    kBurst,         ///< BE job's demand profile scales by `magnitude`.
+    kLeafCrash,     ///< Cluster: leaf drains and goes dark, BE evicted.
+    kSlackFreeze,   ///< Cluster: scheduler sees the leaf's SlackExport
+                    ///< as captured at window start.
+};
+
+/** Human-readable names (for error messages and docs). */
+std::string FaultKindName(FaultKind k);
+std::string ActuatorName(Actuator a);
+std::string MonitorName(Monitor m);
+
+/** One timed injection. Windows are [begin, end) fractions of the run. */
+struct FaultSpec {
+    FaultKind kind = FaultKind::kActuatorDrop;
+    double begin = 0.0;
+    double end = 1.0;
+    Actuator actuator = Actuator::kCores;
+    Monitor monitor = Monitor::kTail;
+    /** Noise sigma (kNoise) or demand multiplier (kBurst). */
+    double magnitude = 0.0;
+    /** Cluster faults: leaf index. For platform faults, < 0 = every
+     *  leaf (or the single server); >= 0 = only that leaf. */
+    int leaf = -1;
+};
+
+/** @name FaultSpec builders (the registry / test vocabulary)
+ *  @{ */
+FaultSpec ActuatorDrop(Actuator a, double begin, double end, int leaf = -1);
+FaultSpec Freeze(Monitor m, double begin, double end, int leaf = -1);
+FaultSpec Noise(Monitor m, double sigma, double begin, double end,
+                int leaf = -1);
+FaultSpec Burst(double scale, double begin, double end, int leaf = -1);
+FaultSpec LeafCrash(int leaf, double begin, double end);
+FaultSpec SlackFreeze(int leaf, double begin, double end);
+/** @} */
+
+/** A full run's worth of injections plus the seed of the noise stream. */
+struct FaultPlan {
+    std::vector<FaultSpec> faults;
+    /** Seeds the (chaos-private) noise RNG; independent of the
+     *  simulation's own streams. */
+    uint64_t seed = 0xC7A05;
+
+    bool empty() const { return faults.empty(); }
+};
+
+/**
+ * Parses the `--faults` mini-language: comma-separated clauses
+ *
+ *   drop:{cores|ways|freq|net}@B-E
+ *   freeze:{tail|fast|load|dram|power}@B-E
+ *   noise:{tail|fast|load|dram|power}*SIGMA@B-E
+ *   burst*SCALE@B-E
+ *   crash:leafN@B-E
+ *   slackfreeze:leafN@B-E
+ *
+ * with B and E fractions of the run in [0, 1]. Returns false and fills
+ * @p error on malformed input.
+ */
+bool ParseFaultPlan(const std::string& text, FaultPlan* out,
+                    std::string* error);
+
+/** One injection with its window resolved to absolute simulated time. */
+struct TimedFault {
+    FaultKind kind;
+    Actuator actuator;
+    Monitor monitor;
+    sim::SimTime begin;
+    sim::SimTime end;
+    double magnitude;
+    int leaf;
+
+    bool ActiveAt(sim::SimTime t) const { return t >= begin && t < end; }
+};
+
+/**
+ * Resolves one spec's fractional window against a run of @p total —
+ * the single definition of window semantics, shared by the per-server
+ * slice below and the cluster layer's crash/slack-freeze resolution.
+ * A resolved zero-length window (returned begin == end) never fires.
+ */
+TimedFault ResolveWindow(const FaultSpec& spec, sim::Duration total);
+
+/**
+ * The slice of a plan that applies to one server's platform, with
+ * windows resolved against that server's total run length. Cluster
+ * faults (kLeafCrash / kSlackFreeze) are excluded — they act above the
+ * platform and are resolved by the cluster experiment itself.
+ */
+struct ResolvedFaultPlan {
+    std::vector<TimedFault> faults;
+    uint64_t seed = 0;
+
+    /**
+     * @param plan the scenario's fault plan.
+     * @param total the server's full run length (phase floors applied).
+     * @param leaf leaf index to slice for, or -1 for a single server
+     *        (which takes only leaf-unscoped platform faults).
+     */
+    static ResolvedFaultPlan For(const FaultPlan& plan, sim::Duration total,
+                                 int leaf = -1);
+
+    bool empty() const { return faults.empty(); }
+    bool HasBurst() const;
+};
+
+}  // namespace heracles::chaos
+
+#endif  // HERACLES_CHAOS_FAULT_PLAN_H

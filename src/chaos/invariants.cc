@@ -1,0 +1,180 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace heracles::chaos {
+
+InvariantChecker::InvariantChecker(platform::Platform& inner, Options opt)
+    : inner_(inner), opt_(opt)
+{
+}
+
+void
+InvariantChecker::Record(const char* invariant, const std::string& detail)
+{
+    Violation v;
+    v.when = inner_.queue().Now();
+    v.invariant = invariant;
+    v.detail = detail;
+    if (violations_.size() < 8) {
+        std::fprintf(stderr, "[invariant] %s violated at t=%.1fs: %s\n",
+                     invariant, sim::ToSeconds(v.when), detail.c_str());
+    }
+    violations_.push_back(std::move(v));
+}
+
+bool
+InvariantChecker::Fresh(sim::SimTime read_at) const
+{
+    if (read_at < 0) return false;
+    return inner_.queue().Now() - read_at < opt_.top_period;
+}
+
+void
+InvariantChecker::CheckDeadline()
+{
+    if (disable_deadline_ < 0) return;
+    if (inner_.queue().Now() <= disable_deadline_) return;
+    if (commanded_cores_ > 0) {
+        std::ostringstream os;
+        os << "tail over SLO observed at t="
+           << sim::ToSeconds(disable_deadline_ -
+                             opt_.top_period)
+           << "s but " << commanded_cores_
+           << " BE cores still commanded one control interval later";
+        Record("safeguard-disable", os.str());
+    }
+    // Disarm either way; a still-dangerous poll re-arms it.
+    disable_deadline_ = -1;
+}
+
+sim::Duration
+InvariantChecker::LcTailLatency()
+{
+    CheckDeadline();
+    const sim::Duration v = inner_.LcTailLatency();
+    if (v > 0) {
+        tail_read_at_ = inner_.queue().Now();
+        tail_over_ = v > inner_.LcSlo();
+        if (tail_over_ && commanded_cores_ > 0 && disable_deadline_ < 0) {
+            disable_deadline_ = tail_read_at_ + opt_.top_period;
+        }
+    }
+    return v;
+}
+
+sim::Duration
+InvariantChecker::LcFastTailLatency()
+{
+    CheckDeadline();
+    const sim::Duration v = inner_.LcFastTailLatency();
+    if (v > 0) {
+        fast_read_at_ = inner_.queue().Now();
+        fast_over_ = v > inner_.LcSlo();
+    }
+    return v;
+}
+
+double
+InvariantChecker::SocketPowerW(int socket)
+{
+    CheckDeadline();
+    const double v = inner_.SocketPowerW(socket);
+    const double tdp = inner_.TdpW();
+    const double frac = tdp > 0.0 ? v / tdp : 0.0;
+    const sim::SimTime now = inner_.queue().Now();
+    // The power subcontroller reads every socket within one tick and
+    // acts on the worst; track the same worst-of-this-timestamp view.
+    if (now != power_read_at_) {
+        power_read_at_ = now;
+        power_frac_ = frac;
+    } else {
+        power_frac_ = std::max(power_frac_, frac);
+    }
+    return v;
+}
+
+void
+InvariantChecker::SetBeCores(int cores)
+{
+    CheckDeadline();
+    if (cores < 0 || cores > inner_.TotalPhysCores() - 1) {
+        std::ostringstream os;
+        os << "commanded " << cores << " BE cores of "
+           << inner_.TotalPhysCores()
+           << " total (LC must keep at least one)";
+        Record("alloc-bounded", os.str());
+    }
+    if (cores > commanded_cores_) {
+        const bool danger = (tail_over_ && Fresh(tail_read_at_)) ||
+                            (fast_over_ && Fresh(fast_read_at_));
+        if (danger) {
+            std::ostringstream os;
+            os << "BE cores grown " << commanded_cores_ << " -> " << cores
+               << " while a fresh latency observation exceeds the SLO";
+            Record("no-grow-under-danger", os.str());
+        }
+    }
+    commanded_cores_ = cores;
+    if (commanded_cores_ == 0) disable_deadline_ = -1;
+    inner_.SetBeCores(cores);
+}
+
+void
+InvariantChecker::SetBeWays(int ways)
+{
+    CheckDeadline();
+    if (ways < 0 || ways > inner_.TotalLlcWays() - 1) {
+        std::ostringstream os;
+        os << "commanded " << ways << " BE ways of "
+           << inner_.TotalLlcWays()
+           << " total (LC must keep at least one)";
+        Record("alloc-bounded", os.str());
+    }
+    inner_.SetBeWays(ways);
+}
+
+void
+InvariantChecker::SetBeFreqCapGhz(double ghz)
+{
+    CheckDeadline();
+    if (ghz != 0.0 && (ghz < inner_.MinGhz() - 1e-6 ||
+                       ghz > inner_.MaxGhz() + 1e-6)) {
+        std::ostringstream os;
+        os << "commanded BE DVFS cap " << ghz << " GHz outside ["
+           << inner_.MinGhz() << ", " << inner_.MaxGhz() << "]";
+        Record("power-cap-respected", os.str());
+    }
+    // 0 = uncapped, i.e. the highest possible effective cap.
+    const double effective = ghz == 0.0 ? inner_.MaxGhz() : ghz;
+    const double prev =
+        commanded_cap_ == 0.0 ? inner_.MaxGhz() : commanded_cap_;
+    const bool raise = effective > prev + 1e-9;
+    if (raise && commanded_cores_ > 0 && Fresh(power_read_at_) &&
+        power_frac_ > opt_.tdp_frac_limit + 1e-9) {
+        std::ostringstream os;
+        os << "BE frequency cap raised " << prev << " -> " << effective
+           << " GHz while observed package power is at "
+           << power_frac_ * 100.0 << "% of TDP";
+        Record("power-cap-respected", os.str());
+    }
+    commanded_cap_ = ghz;
+    inner_.SetBeFreqCapGhz(ghz);
+}
+
+void
+InvariantChecker::SetBeNetCeilGbps(double gbps)
+{
+    CheckDeadline();
+    if (gbps < -1e-9 || gbps > inner_.LinkRateGbps() + 1e-9) {
+        std::ostringstream os;
+        os << "commanded BE egress ceiling " << gbps
+           << " Gb/s outside [0, " << inner_.LinkRateGbps() << "]";
+        Record("net-ceil-bounded", os.str());
+    }
+    inner_.SetBeNetCeilGbps(gbps);
+}
+
+}  // namespace heracles::chaos

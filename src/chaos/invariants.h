@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Machine-checkable controller safety invariants.
+ *
+ * The InvariantChecker is a purely-passive Platform decorator placed
+ * between the Heracles controller and the (possibly fault-injected)
+ * platform. It forwards every call verbatim — no events, no RNG, no
+ * behavioral change, so wiring it into every run keeps all metrics
+ * byte-identical — while recording the controller's observations and
+ * commands and judging them against the paper's safety contract:
+ *
+ *  1. safeguard-disable — after a top-level poll observes tail latency
+ *     above the SLO, the commanded BE core count must reach zero within
+ *     one control interval (Algorithm 1 disables BE immediately).
+ *  2. no-grow-under-danger — the commanded BE core count never grows
+ *     while a fresh (at most one control interval old) latency
+ *     observation exceeds the SLO.
+ *  3. power-cap-respected — the commanded BE DVFS cap stays within the
+ *     machine's DVFS range, and is never raised while BE cores are
+ *     commanded and the freshly-observed package power already exceeds
+ *     the TDP threshold (Algorithm 3 only shifts power towards BE with
+ *     headroom).
+ *  4. net-ceil-bounded — the commanded BE egress ceiling stays within
+ *     [0, link rate] (Algorithm 4 never over-subscribes the NIC).
+ *  5. alloc-bounded — commanded cores/ways always leave the LC task at
+ *     least one core and one LLC way.
+ *
+ * Everything is judged on *observed* telemetry and *commanded*
+ * actuations: under degraded telemetry the controller is held to what
+ * it could see, and under stuck actuators to what it asked for. The
+ * cluster-layer invariant (the BE scheduler never places a job onto a
+ * crashed leaf) is checked by ClusterExperiment, which owns that state.
+ */
+#ifndef HERACLES_CHAOS_INVARIANTS_H
+#define HERACLES_CHAOS_INVARIANTS_H
+
+#include <string>
+#include <vector>
+
+#include "platform/iface.h"
+
+namespace heracles::chaos {
+
+/** One recorded safety violation. */
+struct Violation {
+    sim::SimTime when = 0;
+    std::string invariant;  ///< e.g. "safeguard-disable".
+    std::string detail;     ///< Human-readable evidence.
+};
+
+/** Passive Platform decorator evaluating the safety invariants. */
+class InvariantChecker : public platform::Platform
+{
+  public:
+    struct Options {
+        /** Top-level control interval (grace for invariants 1 and 2). */
+        sim::Duration top_period = sim::Seconds(15);
+        /** TDP fraction above which raising the BE cap is unsafe. */
+        double tdp_frac_limit = 0.90;
+    };
+
+    InvariantChecker(platform::Platform& inner, Options opt);
+
+    const std::vector<Violation>& violations() const {
+        return violations_;
+    }
+    uint64_t count() const { return violations_.size(); }
+
+    // --- Platform (monitors: forward + observe) ---------------------------
+    sim::EventQueue& queue() override { return inner_.queue(); }
+
+    sim::Duration LcTailLatency() override;
+    sim::Duration LcFastTailLatency() override;
+    sim::Duration LcSlo() override { return inner_.LcSlo(); }
+    double LcLoad() override { return inner_.LcLoad(); }
+    double LcCpuUtilization() override { return inner_.LcCpuUtilization(); }
+
+    double MeasuredDramGbps() override { return inner_.MeasuredDramGbps(); }
+    double DramPeakGbps() override { return inner_.DramPeakGbps(); }
+    double BeDramEstimateGbps() override {
+        return inner_.BeDramEstimateGbps();
+    }
+
+    int Sockets() override { return inner_.Sockets(); }
+    double SocketPowerW(int socket) override;
+    double TdpW() override { return inner_.TdpW(); }
+    double LcFreqGhz() override { return inner_.LcFreqGhz(); }
+    double GuaranteedLcFreqGhz() override {
+        return inner_.GuaranteedLcFreqGhz();
+    }
+    double MinGhz() override { return inner_.MinGhz(); }
+    double MaxGhz() override { return inner_.MaxGhz(); }
+    double FreqStepGhz() override { return inner_.FreqStepGhz(); }
+    double BeFreqCapGhz() override { return inner_.BeFreqCapGhz(); }
+    void SetBeFreqCapGhz(double ghz) override;
+
+    double LcTxGbps() override { return inner_.LcTxGbps(); }
+    double LinkRateGbps() override { return inner_.LinkRateGbps(); }
+    void SetBeNetCeilGbps(double gbps) override;
+
+    int TotalPhysCores() override { return inner_.TotalPhysCores(); }
+    int BeCores() override { return inner_.BeCores(); }
+    void SetBeCores(int cores) override;
+    int TotalLlcWays() override { return inner_.TotalLlcWays(); }
+    int BeWays() override { return inner_.BeWays(); }
+    void SetBeWays(int ways) override;
+
+    bool HasBeJob() override { return inner_.HasBeJob(); }
+    double BeRate() override { return inner_.BeRate(); }
+
+  private:
+    void Record(const char* invariant, const std::string& detail);
+
+    /** True when the given observation is fresh enough to count. */
+    bool Fresh(sim::SimTime read_at) const;
+
+    /** Fires the safeguard-disable deadline if it has lapsed. */
+    void CheckDeadline();
+
+    platform::Platform& inner_;
+    Options opt_;
+
+    // Latest observations (what the controller saw, when).
+    sim::SimTime tail_read_at_ = -1;
+    bool tail_over_ = false;
+    sim::SimTime fast_read_at_ = -1;
+    bool fast_over_ = false;
+    sim::SimTime power_read_at_ = -1;
+    double power_frac_ = 0.0;  ///< Worst socket at power_read_at_.
+
+    // Commanded actuator state.
+    int commanded_cores_ = 0;
+    double commanded_cap_ = 0.0;  ///< 0 = uncapped.
+
+    // Armed safeguard deadline (-1 = none).
+    sim::SimTime disable_deadline_ = -1;
+
+    std::vector<Violation> violations_;
+};
+
+}  // namespace heracles::chaos
+
+#endif  // HERACLES_CHAOS_INVARIANTS_H

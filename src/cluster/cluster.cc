@@ -23,11 +23,37 @@ namespace {
 class ClusterSim
 {
   public:
+    /**
+     * @param faults fault plan for this run, or nullptr for a clean run
+     *        (the target-defining run is always clean); windows resolve
+     *        against @p fault_total (the run's trace duration).
+     */
     ClusterSim(const ClusterConfig& cfg, const std::vector<LeafSpec>& specs,
                const sim::LoadTrace& trace, bool colocate,
-               sim::Duration target)
+               sim::Duration target,
+               const chaos::FaultPlan* faults = nullptr,
+               sim::Duration fault_total = 0)
         : cfg_(cfg), trace_(trace), target_(target), rng_(cfg.seed)
     {
+        if (faults != nullptr) {
+            for (const chaos::FaultSpec& f : faults->faults) {
+                if (f.kind != chaos::FaultKind::kLeafCrash &&
+                    f.kind != chaos::FaultKind::kSlackFreeze) {
+                    continue;
+                }
+                HERACLES_CHECK_MSG(
+                    f.leaf >= 0 &&
+                        f.leaf < static_cast<int>(specs.size()),
+                    "cluster fault targets leaf "
+                        << f.leaf << " of " << specs.size()
+                        << " (pin the scenario's leaf count with "
+                           "fixed_leaves)");
+                const chaos::TimedFault t =
+                    chaos::ResolveWindow(f, fault_total);
+                if (t.end > t.begin) cluster_faults_.push_back(t);
+            }
+            frozen_.resize(cluster_faults_.size());
+        }
         const int n = static_cast<int>(specs.size());
         const int num_jobs = static_cast<int>(cfg_.be_jobs.size());
         const bool scheduled =
@@ -118,6 +144,13 @@ class ClusterSim
             spec.lc = ls.lc;
             spec.lc_seed = spec.machine.seed ^ 0x11;
             spec.heracles = cfg_.heracles;
+            if (faults != nullptr) {
+                spec.faults = chaos::ResolvedFaultPlan::For(
+                    *faults, fault_total, i);
+                // Leaves degrade independently even under a shared
+                // noise spec.
+                spec.faults.seed = faults->seed * 131ull + i;
+            }
             double be_alone = 1.0;
             if (colocate) {
                 // Every colocated leaf runs Heracles over a pre-built
@@ -150,6 +183,7 @@ class ClusterSim
             leaf.server = std::move(server);
             leaf.base_slo = ls.lc.slo_latency;
             leaf.be_alone = be_alone;
+            if (colocate && !scheduled) leaf.pinned = ls.be;
             if (scheduled) {
                 leaf.alone_by_job.resize(num_jobs);
                 for (int j = 0; j < num_jobs; ++j) {
@@ -160,6 +194,7 @@ class ClusterSim
             leaves_.push_back(std::move(leaf));
         }
 
+        crashed_.assign(static_cast<size_t>(n), false);
         topo_ = MakeTopology(cfg_.topology, n, cfg_.shards,
                              cfg_.seed ^ 0x70B0C0DEull);
         if (scheduled) {
@@ -178,6 +213,13 @@ class ClusterSim
     Run(sim::Duration duration, sim::Duration warmup)
     {
         warmup_end_ = warmup;
+        for (const chaos::TimedFault& f : cluster_faults_) {
+            if (f.kind != chaos::FaultKind::kLeafCrash) continue;
+            queue_.ScheduleAt(f.begin,
+                              [this, li = f.leaf] { CrashLeaf(li); });
+            queue_.ScheduleAt(f.end,
+                              [this, li = f.leaf] { RecoverLeaf(li); });
+        }
         ScheduleNextQuery();
         queue_.SchedulePeriodic(cfg_.root_window, cfg_.root_window,
                                 [this] { CloseWindow(); });
@@ -254,7 +296,15 @@ class ClusterSim
             r.actuations.set_ways += a.set_ways;
             r.actuations.set_freq_cap += a.set_freq_cap;
             r.actuations.set_net_ceil += a.set_net_ceil;
+            if (const chaos::InvariantChecker* c =
+                    leaf.server->checker()) {
+                r.invariant_violations += c->count();
+            }
+            if (const chaos::FaultyPlatform* f = leaf.server->faulty()) {
+                r.faulted_ops += f->faulted_ops();
+            }
         }
+        r.invariant_violations += cluster_violations_;
         if (scheduler_ != nullptr) {
             r.be_placements = scheduler_->stats().placements;
             r.be_migrations = scheduler_->stats().migrations;
@@ -269,6 +319,8 @@ class ClusterSim
         /** Alone rate of every queued job on this machine shape. */
         std::vector<double> alone_by_job;
         int job = -1;  ///< Queued-job index hosted here (-1 = none).
+        /** Statically-pinned BE profile (restarts after a crash). */
+        std::optional<workloads::BeProfile> pinned;
 
         workloads::LcApp& lc() const { return server->lc(); }
         workloads::BeTask* be() const { return server->be(); }
@@ -297,10 +349,47 @@ class ClusterSim
     {
         const uint64_t tag = next_tag_++;
         topo_->TouchedLeaves(tag, &touched_);
-        pending_[tag] =
-            Query{static_cast<int>(touched_.size()), 0};
+        // Crashed leaves answer nothing; the root combines whatever the
+        // surviving replicas return. A query whose every touched leaf
+        // is dark is lost (an error response, outside the latency
+        // statistics).
+        int alive = 0;
         for (int li : touched_) {
+            if (!crashed_[static_cast<size_t>(li)]) ++alive;
+        }
+        if (alive == 0) return;
+        pending_[tag] = Query{alive, 0};
+        for (int li : touched_) {
+            if (crashed_[static_cast<size_t>(li)]) continue;
             leaves_[static_cast<size_t>(li)].lc().InjectRequest(tag);
+        }
+    }
+
+    /** Leaf crash: drains in-flight work, then goes dark; any hosted BE
+     *  job dies with it (queued jobs return to the scheduler). */
+    void
+    CrashLeaf(int li)
+    {
+        crashed_[static_cast<size_t>(li)] = true;
+        Leaf& leaf = leaves_[static_cast<size_t>(li)];
+        if (leaf.job >= 0) {
+            leaf.server->DetachBeJob();
+            scheduler_->ReleaseJob(leaf.job);
+            leaf.job = -1;
+        } else if (leaf.be() != nullptr) {
+            leaf.server->DetachBeJob();
+        }
+    }
+
+    /** Leaf recovery: rejoins the fan-out; a pinned BE job restarts
+     *  with the machine (scheduled jobs come back via the scheduler). */
+    void
+    RecoverLeaf(int li)
+    {
+        crashed_[static_cast<size_t>(li)] = false;
+        Leaf& leaf = leaves_[static_cast<size_t>(li)];
+        if (leaf.pinned.has_value() && leaf.be() == nullptr) {
+            leaf.server->AttachBeJob(*leaf.pinned);
         }
     }
 
@@ -355,10 +444,12 @@ class ClusterSim
     void
     SchedulerTick()
     {
+        const sim::SimTime now = queue_.Now();
         std::vector<ClusterScheduler::LeafState> states(leaves_.size());
         for (size_t i = 0; i < leaves_.size(); ++i) {
             ClusterScheduler::LeafState& s = states[i];
             s.hosts_job = leaves_[i].job >= 0;
+            s.crashed = crashed_[i];
             if (const ctl::HeraclesController* c =
                     leaves_[i].server->controller()) {
                 const ctl::SlackExport e = c->ExportSlack();
@@ -367,9 +458,38 @@ class ClusterSim
                 s.in_cooldown = e.in_cooldown;
                 s.has_signal = e.has_signal;
             }
+            // A slack-freeze fault wedges the leaf's export as the
+            // scheduler first saw it inside the window — the stale-
+            // telemetry regime CPI2 warns about. Liveness (crashed /
+            // hosts_job) is cluster-side state and stays fresh.
+            for (size_t fi = 0; fi < cluster_faults_.size(); ++fi) {
+                const chaos::TimedFault& f = cluster_faults_[fi];
+                if (f.kind != chaos::FaultKind::kSlackFreeze ||
+                    f.leaf != static_cast<int>(i) || !f.ActiveAt(now)) {
+                    continue;
+                }
+                if (!frozen_[fi].captured) {
+                    frozen_[fi] = {true, s.slack, s.be_enabled,
+                                   s.in_cooldown, s.has_signal};
+                } else {
+                    s.slack = frozen_[fi].slack;
+                    s.be_enabled = frozen_[fi].be_enabled;
+                    s.in_cooldown = frozen_[fi].in_cooldown;
+                    s.has_signal = frozen_[fi].has_signal;
+                }
+            }
         }
         for (const ClusterScheduler::Move& m :
              scheduler_->Tick(states)) {
+            if (crashed_[static_cast<size_t>(m.to)]) {
+                // The cluster-layer safety invariant: jobs never land
+                // on a leaf the scheduler was told is down.
+                std::fprintf(stderr,
+                             "[invariant] no-placement-on-crashed-leaf "
+                             "violated at t=%.1fs: job %d -> leaf %d\n",
+                             sim::ToSeconds(now), m.job, m.to);
+                ++cluster_violations_;
+            }
             if (m.from >= 0) {
                 Leaf& src = leaves_[static_cast<size_t>(m.from)];
                 src.server->DetachBeJob();
@@ -382,6 +502,15 @@ class ClusterSim
         }
     }
 
+    /** One slack-freeze fault's captured export. */
+    struct FrozenExport {
+        bool captured = false;
+        double slack = 1.0;
+        bool be_enabled = false;
+        bool in_cooldown = false;
+        bool has_signal = false;
+    };
+
     ClusterConfig cfg_;
     const sim::LoadTrace& trace_;
     sim::Duration target_;
@@ -391,6 +520,11 @@ class ClusterSim
     std::unique_ptr<Topology> topo_;
     std::unique_ptr<ClusterScheduler> scheduler_;
     std::vector<int> touched_;  // per-query scratch
+
+    std::vector<chaos::TimedFault> cluster_faults_;
+    std::vector<FrozenExport> frozen_;  // aligned with cluster_faults_
+    std::vector<bool> crashed_;
+    uint64_t cluster_violations_ = 0;
 
     uint64_t next_tag_ = 1;
     std::unordered_map<uint64_t, Query> pending_;
@@ -509,7 +643,9 @@ ClusterExperiment::Run()
     for (size_t i = 0; i < run_specs.size(); ++i) {
         run_specs[i].lc.slo_latency = leaf_targets_[i];
     }
-    ClusterSim sim(cfg_, run_specs, *trace, cfg_.colocate, target_);
+    ClusterSim sim(cfg_, run_specs, *trace, cfg_.colocate, target_,
+                   cfg_.faults.empty() ? nullptr : &cfg_.faults,
+                   cfg_.duration);
     sim.Run(cfg_.duration, cfg_.run_warmup);
 
     ClusterResult r;

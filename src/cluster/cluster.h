@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/fault_plan.h"
 #include "cluster/leaf.h"
 #include "cluster/scheduler.h"
 #include "cluster/topology.h"
@@ -114,6 +115,15 @@ struct ClusterConfig {
     /** Leaf target never exceeds this multiple of the static target. */
     double central_max_boost = 1.6;
 
+    /**
+     * Deterministic fault-injection plan for the *colocated* run only
+     * (windows are fractions of `duration`). The target-defining run
+     * always executes clean: faults degrade operation, not the SLO
+     * definition. Platform faults apply per leaf (FaultSpec::leaf < 0 =
+     * every leaf); kLeafCrash / kSlackFreeze act at this layer.
+     */
+    chaos::FaultPlan faults;
+
     uint64_t seed = 42;
 
     /**
@@ -154,6 +164,12 @@ struct ClusterResult {
     // Cluster-level scheduler activity (zero under static split).
     uint64_t be_placements = 0;  ///< Queue → leaf assignments.
     uint64_t be_migrations = 0;  ///< Leaf → leaf moves.
+
+    // Chaos / safety harness (zero in clean-weather runs): summed
+    // per-leaf invariant violations plus cluster-layer ones (a BE job
+    // placed onto a crashed leaf), and per-leaf degraded operations.
+    uint64_t invariant_violations = 0;
+    uint64_t faulted_ops = 0;
 };
 
 /** Runs the composed cluster under its load trace. */

@@ -27,6 +27,16 @@ ClusterScheduler::ClusterScheduler(const SchedulerConfig& cfg, int jobs,
                                         << leaves << ")");
 }
 
+void
+ClusterScheduler::ReleaseJob(int job)
+{
+    HERACLES_CHECK_MSG(job >= 0 &&
+                           job < static_cast<int>(assignment_.size()),
+                       "bad job index " << job);
+    assignment_[static_cast<size_t>(job)] = -1;
+    resident_ticks_[static_cast<size_t>(job)] = 0;
+}
+
 int
 ClusterScheduler::QueuedJobs() const
 {
@@ -41,18 +51,24 @@ ClusterScheduler::PickLeaf(const std::vector<LeafState>& leaves,
 {
     const int n = static_cast<int>(leaves.size());
     if (cfg_.policy == SchedulerPolicy::kRoundRobin) {
-        // First free leaf in rotation order, slack-blind.
+        // First free, live leaf in rotation order, slack-blind.
         for (int k = 0; k < n; ++k) {
             const int i = (rr_cursor_ + k) % n;
-            if (!taken[i] && !leaves[i].in_cooldown) return i;
+            if (!taken[i] && !leaves[i].in_cooldown &&
+                !leaves[i].crashed) {
+                return i;
+            }
         }
         return -1;
     }
-    // Greedy: the free, non-cooldown leaf with the most slack, provided
-    // it clears the placement floor. Ties break to the lowest index.
+    // Greedy: the free, live, non-cooldown leaf with the most slack,
+    // provided it clears the placement floor. Ties break to the lowest
+    // index.
     int best = -1;
     for (int i = 0; i < n; ++i) {
-        if (taken[i] || leaves[i].in_cooldown) continue;
+        if (taken[i] || leaves[i].in_cooldown || leaves[i].crashed) {
+            continue;
+        }
         if (leaves[i].slack < cfg_.place_min_slack) continue;
         if (best < 0 || leaves[i].slack > leaves[best].slack) best = i;
     }

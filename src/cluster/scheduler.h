@@ -88,6 +88,8 @@ class ClusterScheduler
         bool be_enabled = false;  ///< Controller currently runs BE.
         bool in_cooldown = false;  ///< Post-violation LC-only window.
         bool has_signal = false;  ///< At least one poll saw latency data.
+        /** Leaf is down (chaos layer): never a placement target. */
+        bool crashed = false;
     };
 
     /** One placement (from == -1) or migration (from >= 0). */
@@ -109,6 +111,12 @@ class ClusterScheduler
 
     /** Leaf currently hosting @p job, or -1 while queued. */
     int LeafOf(int job) const { return assignment_[job]; }
+
+    /**
+     * Returns @p job to the queue without a Move (its leaf crashed and
+     * the job died with it); the next Tick re-places it on a live leaf.
+     */
+    void ReleaseJob(int job);
 
     /** Jobs still waiting for a leaf. */
     int QueuedJobs() const;

@@ -48,8 +48,19 @@ ServerSim::ServerSim(const ServerSpec& spec, sim::EventQueue& queue)
             spec.bw_model
                 ? *spec.bw_model
                 : ctl::LcBwModel::Profile(spec.lc, spec.machine);
+        // The controller actuates through the fault-injection decorator
+        // (pass-through on an empty plan — the 22 frozen goldens pin
+        // that) and is observed by the safety-invariant checker, which
+        // forwards everything verbatim.
+        faulty_ = std::make_unique<chaos::FaultyPlatform>(*plat_,
+                                                          spec.faults);
+        chaos::InvariantChecker::Options iopt;
+        iopt.top_period = spec.heracles.top_period;
+        iopt.tdp_frac_limit = spec.heracles.tdp_threshold;
+        checker_ =
+            std::make_unique<chaos::InvariantChecker>(*faulty_, iopt);
         controller_ = std::make_unique<ctl::HeraclesController>(
-            *plat_, spec.heracles, std::move(model));
+            *checker_, spec.heracles, std::move(model));
         controller_->Start();
         break;
       }
@@ -73,6 +84,37 @@ ServerSim::ServerSim(const ServerSpec& spec, sim::EventQueue& queue)
         break;
       }
     }
+
+    // Antagonist bursts: timed demand phase changes on the BE job.
+    // Scheduled even when no job is attached yet — a cluster-level
+    // scheduler may place one later (AttachBeJob applies the ambient
+    // scale), and may equally detach it before a window edge fires,
+    // hence the be_ re-check in ApplyBurstScale. Every edge recomputes
+    // the ambient scale from all windows, so overlapping or adjacent
+    // bursts compose (concurrent phases multiply) instead of one
+    // window's end wiping another still in flight.
+    if (spec.faults.HasBurst()) {
+        for (const chaos::TimedFault& f : spec.faults.faults) {
+            if (f.kind != chaos::FaultKind::kBurst) continue;
+            bursts_.push_back(f);
+        }
+        for (const chaos::TimedFault& f : bursts_) {
+            queue_.ScheduleAt(f.begin, [this] { ApplyBurstScale(); });
+            queue_.ScheduleAt(f.end, [this] { ApplyBurstScale(); });
+        }
+    }
+}
+
+void
+ServerSim::ApplyBurstScale()
+{
+    double scale = 1.0;
+    const sim::SimTime now = queue_.Now();
+    for (const chaos::TimedFault& f : bursts_) {
+        if (f.ActiveAt(now)) scale *= f.magnitude;
+    }
+    burst_scale_ = scale;
+    if (be_) be_->SetDemandScale(scale);
 }
 
 ServerSim::~ServerSim()
@@ -95,6 +137,8 @@ ServerSim::AttachBeJob(const workloads::BeProfile& profile)
     HERACLES_CHECK_MSG(be_ == nullptr,
                        "server already hosts BE job " << be_->name());
     be_ = std::make_unique<workloads::BeTask>(*machine_, profile);
+    // A job placed mid-burst inherits the ambient demand scale.
+    if (burst_scale_ != 1.0) be_->SetDemandScale(burst_scale_);
     plat_->AttachBeJob(be_.get());
     return be_.get();
 }

@@ -18,7 +18,11 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "chaos/fault_plan.h"
+#include "chaos/faulty_platform.h"
+#include "chaos/invariants.h"
 #include "heracles/bw_model.h"
 #include "heracles/config.h"
 #include "heracles/controller.h"
@@ -68,6 +72,13 @@ struct ServerSpec {
      * model). When null the model is profiled during assembly.
      */
     const ctl::LcBwModel* bw_model = nullptr;
+
+    /**
+     * Resolved fault-injection plan for this server (chaos scenarios).
+     * Empty by default; an empty (or never-active) plan is byte-
+     * identical to no plan.
+     */
+    chaos::ResolvedFaultPlan faults;
 };
 
 /**
@@ -101,6 +112,20 @@ class ServerSim
     platform::SimPlatform& platform() { return *plat_; }
     /** Null unless the policy is kHeracles. */
     ctl::HeraclesController* controller() { return controller_.get(); }
+
+    /**
+     * The fault-injection decorator the controller actuates through
+     * (pass-through when the spec carried no plan); null unless the
+     * policy is kHeracles.
+     */
+    chaos::FaultyPlatform* faulty() { return faulty_.get(); }
+
+    /**
+     * The safety-invariant observer sandwiched between controller and
+     * (faulty) platform; null unless the policy is kHeracles. Zero
+     * recorded violations is part of the golden contract.
+     */
+    chaos::InvariantChecker* checker() { return checker_.get(); }
 
     /** True when a BE task is colocated on this server. */
     bool colocated() const { return be_ != nullptr; }
@@ -139,8 +164,17 @@ class ServerSim
     std::unique_ptr<workloads::LcApp> lc_;
     std::unique_ptr<workloads::BeTask> be_;
     std::unique_ptr<platform::SimPlatform> plat_;
+    std::unique_ptr<chaos::FaultyPlatform> faulty_;
+    std::unique_ptr<chaos::InvariantChecker> checker_;
+    /** Recomputes the ambient burst scale from bursts_ at Now(). */
+    void ApplyBurstScale();
+
     std::unique_ptr<ctl::HeraclesController> controller_;
     bool controller_stopped_ = false;
+    /** Resolved burst windows (active ones multiply into the scale). */
+    std::vector<chaos::TimedFault> bursts_;
+    /** Current antagonist-burst demand multiplier (1.0 = no burst). */
+    double burst_scale_ = 1.0;
 };
 
 }  // namespace heracles::exp

@@ -260,6 +260,99 @@ BuildCatalog()
         all.push_back(s);
     }
 
+    // --- chaos family: degraded telemetry, stuck actuators, abrupt
+    // --- interference, crashing leaves --------------------------------------
+    // Every scenario here runs the same controller under a seeded
+    // FaultPlan; the golden baseline pins the degraded outcome and the
+    // invariant harness asserts the controller stays *safe* throughout
+    // (the interesting regime per CPI2 / Bubble-Flux). SLO attainment
+    // under faults is an outcome, not a promise — scenarios whose
+    // degradation can plausibly cost the SLO mark the violation
+    // expected.
+    {
+        ScenarioSpec s = Single(
+            "chaos_cores_stuck",
+            "cpuset+CAT actuators stuck for 40% of the run mid-load",
+            "websearch", "brain", PK::kHeracles, TK::kConstant, 0.55,
+            0.55, 41);
+        s.faults.faults = {
+            chaos::ActuatorDrop(chaos::Actuator::kCores, 0.35, 0.75),
+            chaos::ActuatorDrop(chaos::Actuator::kWays, 0.35, 0.75),
+        };
+        s.expect_slo_violation = true;
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Single(
+            "chaos_blind_tail",
+            "latency telemetry frozen while a diurnal swing rises",
+            "websearch", "brain", PK::kHeracles, TK::kDiurnal, 0.25, 0.75,
+            42);
+        s.faults.faults = {
+            chaos::Freeze(chaos::Monitor::kTail, 0.40, 0.65),
+            chaos::Freeze(chaos::Monitor::kFastTail, 0.40, 0.65),
+        };
+        s.expect_slo_violation = true;
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Single(
+            "chaos_noisy_telemetry",
+            "noisy tail/power/DRAM counters through most of the run",
+            "ml_cluster", "streetview", PK::kHeracles, TK::kConstant, 0.6,
+            0.6, 43);
+        s.faults.faults = {
+            chaos::Noise(chaos::Monitor::kTail, 0.15, 0.10, 0.90),
+            chaos::Noise(chaos::Monitor::kPower, 0.08, 0.10, 0.90),
+            chaos::Noise(chaos::Monitor::kDram, 0.15, 0.10, 0.90),
+        };
+        s.expect_slo_violation = true;
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Single(
+            "chaos_be_burst",
+            "BE job's demand abruptly triples mid-run (antagonist burst)",
+            "websearch", "brain", PK::kHeracles, TK::kConstant, 0.5, 0.5,
+            44);
+        s.faults.faults = {chaos::Burst(3.0, 0.45, 0.70)};
+        s.expect_slo_violation = true;
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Cluster(
+            "chaos_cluster_leaf_crash",
+            "greedy-scheduled cluster rides out a leaf crash + recovery",
+            /*colocate=*/true, /*central=*/false, 45);
+        s.be_jobs = {"brain", "streetview"};
+        s.scheduler = cluster::SchedulerPolicy::kGreedySlack;
+        s.leaves = 4;
+        s.fixed_leaves = true;
+        s.cluster_duration = sim::Minutes(8);
+        // Late window: the diurnal trace starts near its peak, so the
+        // scheduler only places jobs once slack opens mid-run — the
+        // crash must land while its leaf actually hosts one, proving
+        // the evict → requeue → re-place path in the golden record.
+        s.faults.faults = {chaos::LeafCrash(1, 0.55, 0.85)};
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Cluster(
+            "chaos_cluster_blind_sched",
+            "greedy scheduler fed frozen slack exports from two leaves",
+            /*colocate=*/true, /*central=*/false, 46);
+        s.be_jobs = {"brain", "streetview"};
+        s.scheduler = cluster::SchedulerPolicy::kGreedySlack;
+        s.leaves = 4;
+        s.fixed_leaves = true;
+        s.cluster_duration = sim::Minutes(8);
+        s.faults.faults = {
+            chaos::SlackFreeze(0, 0.25, 0.75),
+            chaos::SlackFreeze(2, 0.25, 0.75),
+        };
+        all.push_back(s);
+    }
+
     return all;
 }
 

@@ -84,6 +84,8 @@ RunSingleServer(const ScenarioSpec& spec, const RunOptions& opts)
     }
     srv.policy = spec.policy;
     srv.heracles = spec.heracles;
+    srv.faults =
+        chaos::ResolvedFaultPlan::For(spec.faults, warmup + measure);
 
     // Alone-rate normalization mirrors exp::Experiment: derived from the
     // spec's machine so EMU is comparable across seeds of one scenario.
@@ -141,6 +143,13 @@ RunSingleServer(const ScenarioSpec& spec, const RunOptions& opts)
     m.act_set_freq_cap = static_cast<double>(a.set_freq_cap);
     m.act_set_net_ceil = static_cast<double>(a.set_net_ceil);
 
+    if (const chaos::InvariantChecker* c = server.checker()) {
+        m.invariant_violations = static_cast<double>(c->count());
+    }
+    if (const chaos::FaultyPlatform* f = server.faulty()) {
+        m.faulted_ops = static_cast<double>(f->faulted_ops());
+    }
+
     m.be_cores = server.platform().BeCores();
     m.be_ways = server.platform().BeWays();
 
@@ -173,6 +182,9 @@ RunCluster(const ScenarioSpec& spec, const RunOptions& opts)
     m.act_set_net_ceil = static_cast<double>(r.actuations.set_net_ceil);
     m.be_placements = static_cast<double>(r.be_placements);
     m.be_migrations = static_cast<double>(r.be_migrations);
+    m.invariant_violations =
+        static_cast<double>(r.invariant_violations);
+    m.faulted_ops = static_cast<double>(r.faulted_ops);
 
     m.root_target_ms = sim::ToMillis(r.target);
     m.leaf_target_ms = sim::ToMillis(r.leaf_target);
@@ -281,6 +293,7 @@ ClusterConfigFor(const ScenarioSpec& spec, const RunOptions& opts)
     }
     cfg.scheduler.policy = spec.scheduler;
     cfg.per_leaf_targets = spec.per_leaf_targets;
+    cfg.faults = spec.faults;
     if (!spec.be_jobs.empty()) {
         // Cluster-wide jobs are sized against the scenario's root
         // machine in *both* scheduler arms: a pinned job and a queued

@@ -87,6 +87,8 @@ ScenarioMetrics::Kv() const
         {"be_ways", be_ways},
         {"be_placements", be_placements},
         {"be_migrations", be_migrations},
+        {"invariant_violations", invariant_violations},
+        {"faulted_ops", faulted_ops},
         {"root_target_ms", root_target_ms},
         {"leaf_target_ms", leaf_target_ms},
     };
@@ -146,6 +148,8 @@ AssignMetric(ScenarioMetrics* m, const std::string& key, double value)
         {"be_ways", &ScenarioMetrics::be_ways},
         {"be_placements", &ScenarioMetrics::be_placements},
         {"be_migrations", &ScenarioMetrics::be_migrations},
+        {"invariant_violations", &ScenarioMetrics::invariant_violations},
+        {"faulted_ops", &ScenarioMetrics::faulted_ops},
         {"root_target_ms", &ScenarioMetrics::root_target_ms},
         {"leaf_target_ms", &ScenarioMetrics::leaf_target_ms},
     };
@@ -201,7 +205,9 @@ MetricsToJson(const ScenarioMetrics& m)
     // are structurally zero outside dynamic-scheduler cluster runs, so
     // they are emitted only when active: the frozen files stay
     // byte-identical under --update-golden, and a zero parses back
-    // exactly (MetricsFromJson treats the keys as optional).
+    // exactly (MetricsFromJson treats the keys as optional). The chaos
+    // keys (postdating all 22 pre-chaos baselines) follow the same
+    // rule.
     auto kv = m.Kv();
     if (m.be_placements == 0.0 && m.be_migrations == 0.0) {
         kv.erase(std::remove_if(kv.begin(), kv.end(),
@@ -209,6 +215,15 @@ MetricsToJson(const ScenarioMetrics& m)
                                     return e.first == "be_placements" ||
                                            e.first == "be_migrations";
                                 }),
+                 kv.end());
+    }
+    if (m.invariant_violations == 0.0 && m.faulted_ops == 0.0) {
+        kv.erase(std::remove_if(
+                     kv.begin(), kv.end(),
+                     [](const auto& e) {
+                         return e.first == "invariant_violations" ||
+                                e.first == "faulted_ops";
+                     }),
                  kv.end());
     }
     std::ostringstream os;
@@ -242,7 +257,8 @@ MetricsFromJson(const std::string& json, ScenarioMetrics* out)
     for (const auto& [key, unused] : m.Kv()) {
         (void)unused;
         const bool optional =
-            key == "be_placements" || key == "be_migrations";
+            key == "be_placements" || key == "be_migrations" ||
+            key == "invariant_violations" || key == "faulted_ops";
         double v = 0.0;
         if (!FindNumberValue(json, key, &v)) {
             if (optional) continue;
@@ -257,8 +273,14 @@ MetricsFromJson(const std::string& json, ScenarioMetrics* out)
 Tolerance
 ToleranceFor(const std::string& key)
 {
-    // slo_attained is a verdict, not a measurement: exact.
-    if (key == "slo_attained") return {0.0, 0.0};
+    // slo_attained is a verdict, not a measurement: exact. So is the
+    // invariant checker's: any violation anywhere is a regression.
+    if (key == "slo_attained" || key == "invariant_violations") {
+        return {0.0, 0.0};
+    }
+    // Degraded-ops counts track controller poll counts; same looseness
+    // as the other activity counters.
+    if (key == "faulted_ops") return {0.15, 5.0};
     // Controller activity counts: deterministic on one machine, but a
     // couple of control decisions may flip across compilers/libms.
     if (key == "polls" || key == "be_enables" || key == "be_disables" ||

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "chaos/fault_plan.h"
 #include "cluster/scheduler.h"
 #include "exp/server_sim.h"
 #include "heracles/config.h"
@@ -138,6 +139,14 @@ struct ScenarioSpec {
      */
     bool expect_slo_violation = false;
 
+    /**
+     * Deterministic fault-injection plan (the chaos_* family; also the
+     * CLI's --faults). Windows are fractions of the run, so the same
+     * plan degrades a full-scale run and its golden-scale regression
+     * variant at the same relative times. Empty = clean weather.
+     */
+    chaos::FaultPlan faults;
+
     /** Default RNG seed; RunOptions::seed overrides from the CLI. */
     uint64_t seed = 1;
 };
@@ -191,6 +200,17 @@ struct ScenarioMetrics {
     // in baselines written before these metrics existed (parsed as 0).
     double be_placements = 0.0;
     double be_migrations = 0.0;
+
+    // --- Chaos / safety harness --------------------------------------------
+    // invariant_violations is the safety verdict of the invariant
+    // checker that rides along on every Heracles run: its golden
+    // tolerance is exact and the harness asserts it stays zero.
+    // faulted_ops counts dropped actuations + degraded telemetry reads,
+    // pinning that a chaos scenario's plan actually fired. Both are
+    // structurally zero outside the chaos family and omitted from JSON
+    // when zero (parsed as 0), so pre-chaos baselines never churn.
+    double invariant_violations = 0.0;
+    double faulted_ops = 0.0;
 
     // --- Cluster targets ---------------------------------------------------
     double root_target_ms = 0.0;

@@ -27,6 +27,16 @@ BeTask::SetCpus(const hw::CpuSet& cpus)
     machine_.AssignCpus(this, cpus);
 }
 
+void
+BeTask::SetDemandScale(double scale)
+{
+    Accrue();  // close the accounting period at the old demand
+    demand_scale_ = scale;
+    // Re-resolve immediately so the phase change lands this instant,
+    // not at the next 25 ms contention epoch.
+    machine_.ResolveNow();
+}
+
 int
 BeTask::CoresOn(int socket) const
 {
@@ -44,22 +54,24 @@ BeTask::CpuBusyFraction() const
 double
 BeTask::LlcFootprintMb(int socket) const
 {
-    return CoresOn(socket) > 0 ? profile_.footprint_mb : 0.0;
+    return CoresOn(socket) > 0 ? demand_scale_ * profile_.footprint_mb
+                               : 0.0;
 }
 
 double
 BeTask::LlcAccessWeight(int socket) const
 {
-    return profile_.weight_per_core * CoresOn(socket);
+    return demand_scale_ * profile_.weight_per_core * CoresOn(socket);
 }
 
 double
 BeTask::MissFraction(int socket, double effective_llc_mb) const
 {
     (void)socket;
-    if (profile_.footprint_mb <= 0.0) return 1.0;
+    const double footprint = demand_scale_ * profile_.footprint_mb;
+    if (footprint <= 0.0) return 1.0;
     const double hit =
-        std::clamp(effective_llc_mb / profile_.footprint_mb, 0.0, 1.0);
+        std::clamp(effective_llc_mb / footprint, 0.0, 1.0);
     return 1.0 - hit;
 }
 
@@ -69,7 +81,7 @@ BeTask::DramDemandGbps(int socket, double effective_llc_mb) const
     const int cores = CoresOn(socket);
     if (cores == 0) return 0.0;
     const double miss = MissFraction(socket, effective_llc_mb);
-    return cores * profile_.dram_per_core_gbps *
+    return cores * demand_scale_ * profile_.dram_per_core_gbps *
            (profile_.dram_compulsory_frac +
             (1.0 - profile_.dram_compulsory_frac) * miss);
 }
@@ -77,7 +89,9 @@ BeTask::DramDemandGbps(int socket, double effective_llc_mb) const
 double
 BeTask::NetTxDemandGbps() const
 {
-    return machine_.CpusOf(this).Empty() ? 0.0 : profile_.net_demand_gbps;
+    return machine_.CpusOf(this).Empty()
+               ? 0.0
+               : demand_scale_ * profile_.net_demand_gbps;
 }
 
 double

@@ -91,6 +91,16 @@ class BeTask : public hw::ResourceClient
     /** Restarts throughput accounting (e.g. after warmup). */
     void ResetThroughput();
 
+    /**
+     * Scales the task's demands (cache footprint, access weight, DRAM
+     * per core, egress) by @p scale — an abrupt phase change that turns
+     * the job into a much heavier (or lighter) antagonist without
+     * touching its throughput model or any RNG stream. The chaos
+     * layer's antagonist bursts drive this; 1.0 restores the profile.
+     */
+    void SetDemandScale(double scale);
+    double DemandScale() const { return demand_scale_; }
+
     const BeProfile& profile() const { return profile_; }
 
     // --- ResourceClient -----------------------------------------------------
@@ -113,6 +123,7 @@ class BeTask : public hw::ResourceClient
 
     hw::Machine& machine_;
     BeProfile profile_;
+    double demand_scale_ = 1.0;
     sim::EventQueue::EventId accrue_event_;
 
     double work_ = 0.0;

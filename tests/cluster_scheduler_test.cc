@@ -202,6 +202,61 @@ TEST(Scheduler, CounterAccountingMatchesMoves)
     EXPECT_EQ(sched.stats().ticks, rounds.size());
 }
 
+TEST(Scheduler, NeverPlacesOntoCrashedLeaf)
+{
+    // Both dynamic policies must treat a crashed leaf as unplaceable no
+    // matter how attractive its (stale) slack looks.
+    for (SchedulerPolicy policy :
+         {SchedulerPolicy::kGreedySlack, SchedulerPolicy::kRoundRobin}) {
+        SchedulerConfig cfg;
+        cfg.policy = policy;
+        ClusterScheduler sched(cfg, /*jobs=*/2, /*leaves=*/3);
+        LeafState dead = Idle(0.95);
+        dead.crashed = true;
+        const auto moves =
+            sched.Tick({dead, Idle(0.4), Idle(0.3)});
+        ASSERT_EQ(moves.size(), 2u) << cluster::SchedulerPolicyName(policy);
+        for (const Move& m : moves) {
+            EXPECT_NE(m.to, 0) << cluster::SchedulerPolicyName(policy);
+        }
+    }
+}
+
+TEST(Scheduler, AllLeavesCrashedKeepsJobsQueued)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    ClusterScheduler sched(cfg, /*jobs=*/1, /*leaves=*/2);
+    LeafState dead = Idle(0.9);
+    dead.crashed = true;
+    EXPECT_TRUE(sched.Tick({dead, dead}).empty());
+    EXPECT_EQ(sched.QueuedJobs(), 1);
+}
+
+TEST(Scheduler, ReleasedJobIsReplacedOnALiveLeaf)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    ClusterScheduler sched(cfg, /*jobs=*/1, /*leaves=*/3);
+    ASSERT_EQ(sched.Tick({Idle(0.9), Idle(0.4), Idle(0.3)}).size(), 1u);
+    ASSERT_EQ(sched.LeafOf(0), 0);
+
+    // The hosting leaf crashes: the cluster layer evicts the job and
+    // hands it back without a Move.
+    sched.ReleaseJob(0);
+    EXPECT_EQ(sched.LeafOf(0), -1);
+    EXPECT_EQ(sched.QueuedJobs(), 1);
+
+    LeafState dead = Idle(0.9);
+    dead.crashed = true;
+    const auto moves = sched.Tick({dead, Idle(0.4), Idle(0.3)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].from, -1) << "a re-placement, not a migration";
+    EXPECT_EQ(moves[0].to, 1) << "best *live* leaf";
+    EXPECT_EQ(sched.stats().placements, 2u);
+    EXPECT_EQ(sched.stats().migrations, 0u);
+}
+
 TEST(SchedulerDeath, StaticSplitNeverTicks)
 {
     SchedulerConfig cfg;  // kStaticSplit

@@ -81,6 +81,28 @@ TEST(Catalog, SpansTheEvaluationMatrix)
         << "catalog must cover single-server and cluster";
     EXPECT_EQ(traces.size(), 4u)
         << "catalog must cover constant, step, diurnal and flash-crowd";
+
+    // The chaos family: enough scenarios to cover actuator, telemetry,
+    // interference and cluster-layer degradation, all carrying a plan.
+    size_t chaos_scenarios = 0;
+    for (const auto& s : all) {
+        if (s.name.rfind("chaos_", 0) != 0) continue;
+        ++chaos_scenarios;
+        EXPECT_FALSE(s.faults.empty())
+            << s.name << " must carry a fault plan";
+    }
+    EXPECT_GE(chaos_scenarios, 6u);
+}
+
+TEST(Catalog, ControllerIsSafeOnEveryScenario)
+{
+    // The invariant harness rides along on every Heracles run (clean
+    // and chaotic alike); any recorded violation is a controller-safety
+    // regression regardless of how the other metrics look.
+    const auto& results = ResultsFor(4);
+    for (const auto& m : results) {
+        EXPECT_EQ(m.invariant_violations, 0.0) << m.scenario;
+    }
 }
 
 TEST(Catalog, LookupByName)

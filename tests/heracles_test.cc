@@ -74,6 +74,51 @@ TEST(BwModel, ClampsOutOfRangeInputs)
     EXPECT_DOUBLE_EQ(m.Evaluate(0.5, 36, 100), m.Evaluate(0.5, 36, 20));
 }
 
+TEST(BwModel, ZeroLoadPredictsNearZero)
+{
+    // An idle service streams (almost) nothing; the zero-load column
+    // must be finite, non-negative and far below the loaded curve for
+    // every profiled LC workload.
+    for (const auto& p : workloads::AllLcWorkloads()) {
+        const LcBwModel m = LcBwModel::Profile(p, Cfg());
+        const double idle = m.Evaluate(0.0, 36, 16);
+        EXPECT_GE(idle, 0.0) << p.name;
+        EXPECT_LT(idle, 0.25 * m.Evaluate(1.0, 36, 16)) << p.name;
+    }
+}
+
+TEST(BwModel, SaturatesNearTheWorkloadPeakFraction)
+{
+    // At full load with a warm cache the prediction lands near the
+    // characterized peak_dram_frac of the machine's streaming peak
+    // (Section 3.1), and never above the machine's physical peak.
+    for (const auto& p : workloads::AllLcWorkloads()) {
+        const LcBwModel m = LcBwModel::Profile(p, Cfg());
+        const double peak = Cfg().TotalDramGbps();
+        const double full = m.Evaluate(1.0, 36, 20);
+        EXPECT_LE(full, peak) << p.name;
+        EXPECT_NEAR(full, p.peak_dram_frac * peak,
+                    0.25 * p.peak_dram_frac * peak)
+            << p.name;
+    }
+}
+
+TEST(BwModel, PredictionInvariantInCoreCount)
+{
+    // The documented contract: cores is accepted for interface fidelity
+    // but the profiled bandwidth depends on (load, ways) only — the
+    // prediction must be exactly flat (hence trivially monotone) as the
+    // LC core count varies at a fixed load.
+    const LcBwModel m = LcBwModel::Profile(workloads::Websearch(), Cfg());
+    for (double load : {0.0, 0.3, 0.7, 1.0}) {
+        const double base = m.Evaluate(load, 1, 12);
+        for (int cores : {2, 8, 18, 35, 36}) {
+            EXPECT_DOUBLE_EQ(m.Evaluate(load, cores, 12), base)
+                << "load " << load << " cores " << cores;
+        }
+    }
+}
+
 // --------------------------------------------------------------------------
 // Network subcontroller (Algorithm 4)
 

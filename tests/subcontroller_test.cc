@@ -201,8 +201,86 @@ TEST(PowerEdges, LoweringClampsAtDvfsFloor)
     EXPECT_DOUBLE_EQ(p.be_freq_cap, 1.2);
 }
 
+TEST(PowerEdges, RaiseLandingExactlyOnMaxUncaps)
+{
+    // A raise whose step lands on MaxGhz must release the cap entirely
+    // (0 = uncapped) instead of pinning a cap equal to the ceiling.
+    FakePlatform p;
+    p.be_cores = 10;
+    p.be_freq_cap = 3.4;  // + 2 * 0.1 steps == 3.6 == max
+    p.socket_power[0] = p.socket_power[1] = 110.0;  // 0.76: headroom
+    PowerController ctl(p, HeraclesConfig{});
+    ctl.Tick();
+    EXPECT_DOUBLE_EQ(p.be_freq_cap, 0.0);
+}
+
+TEST(PowerEdges, CapReleaseWithoutBeCoresIsIdempotent)
+{
+    // BE disabled with a stale cap: released exactly once, then the
+    // tick is a no-op — no actuation churn while there is nothing to
+    // throttle.
+    FakePlatform p;
+    p.be_cores = 0;
+    p.be_freq_cap = 2.0;
+    PowerController ctl(p, HeraclesConfig{});
+    ctl.Tick();
+    EXPECT_DOUBLE_EQ(p.be_freq_cap, 0.0);
+    EXPECT_EQ(p.set_cap_calls, 1);
+    ctl.Tick();
+    EXPECT_EQ(p.set_cap_calls, 1);
+}
+
+TEST(PowerEdges, RecoveryWaitsOutTheHysteresisBand)
+{
+    // Lower under pressure, hold while power sits inside the
+    // [raise, lower] band even though the LC cores recovered, and climb
+    // back only once power clears the raise threshold.
+    FakePlatform p;
+    p.be_cores = 10;
+    p.be_freq_cap = 3.0;
+    p.socket_power[0] = 140.0;  // 0.97: over the 0.90 lower threshold
+    p.lc_freq = 2.0;            // below guaranteed
+    PowerController ctl(p, HeraclesConfig{});
+    ctl.Tick();
+    EXPECT_NEAR(p.be_freq_cap, 2.8, 1e-9);
+
+    p.lc_freq = 2.5;            // recovered...
+    p.socket_power[0] = 123.0;  // ...but 0.85 is still inside the band
+    ctl.Tick();
+    EXPECT_NEAR(p.be_freq_cap, 2.8, 1e-9) << "must hold inside the band";
+
+    p.socket_power[0] = 110.0;  // 0.76: clears the 0.80 raise threshold
+    ctl.Tick();
+    EXPECT_NEAR(p.be_freq_cap, 3.0, 1e-9);
+}
+
 // --------------------------------------------------------------------------
 // Network subcontroller (Algorithm 4)
+
+TEST(NetEdges, ZeroBeTrafficStillReservesLinkHeadroom)
+{
+    // An idle LC service (zero egress) does not hand BE the whole NIC:
+    // the link-fraction headroom term survives, ceil = 10 - 0.05 * 10.
+    FakePlatform p;
+    p.lc_tx = 0.0;
+    NetworkController net(p, HeraclesConfig{});
+    net.Tick();
+    EXPECT_NEAR(p.be_net_ceil, 9.5, 1e-9);
+}
+
+TEST(NetEdges, DisabledHeadroomGrantsExactlyTheResidualLink)
+{
+    // Both headroom knobs at zero is the boundary where the ceiling
+    // equals the full residual link — never more.
+    FakePlatform p;
+    p.lc_tx = 4.0;
+    HeraclesConfig cfg;
+    cfg.net_headroom_link_frac = 0.0;
+    cfg.net_headroom_lc_frac = 0.0;
+    NetworkController net(p, cfg);
+    net.Tick();
+    EXPECT_DOUBLE_EQ(p.be_net_ceil, 6.0);
+}
 
 TEST(NetEdges, SaturatedLinkClampsCeilToZero)
 {

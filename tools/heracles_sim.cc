@@ -13,7 +13,7 @@
  *                [--seed 1]
  *                [--sweep 0.1,0.3,0.5|paper] [--jobs N]
  *                [--list-scenarios] [--scenario NAME|all]
- *                [--scale F] [--json]
+ *                [--scale F] [--json] [--faults SPEC]
  *
  * With --sweep, runs every listed load (or the paper's 5%..95% grid)
  * instead of a single point, fanning the independent load points across
@@ -26,6 +26,15 @@
  * phases, --seed makes any run reproducible from the command line,
  * --json emits the canonical metrics record), and --scenario all fans
  * the whole catalog across --jobs threads.
+ *
+ * --faults overlays a deterministic fault-injection plan (chaos layer)
+ * on a single --scenario run, e.g.
+ *
+ *   --faults "drop:cores@0.3-0.6,noise:tail*0.2@0.1-0.9"
+ *
+ * with windows as fractions of the run; see src/chaos/fault_plan.h for
+ * the clause grammar. The run reports the degraded metrics plus the
+ * invariant checker's verdict.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault_plan.h"
 #include "exp/experiment.h"
 #include "exp/reporting.h"
 #include "runner/pool.h"
@@ -53,7 +63,7 @@ Usage(const char* argv0)
                  "[--measure-s S] [--seed N] "
                  "[--sweep F,F,...|paper] [--jobs N] "
                  "[--list-scenarios] [--scenario NAME|all] "
-                 "[--scale F] [--json]\n",
+                 "[--scale F] [--json] [--faults SPEC]\n",
                  argv0);
     std::exit(2);
 }
@@ -128,9 +138,15 @@ MetricsJsonWithVerdict(const scenarios::ScenarioMetrics& m, int unexpected)
 /** Runs --scenario NAME|all; returns the process exit code. */
 int
 RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
-                int jobs, bool json)
+                int jobs, bool json, const chaos::FaultPlan* faults)
 {
     if (name == "all") {
+        if (faults != nullptr) {
+            std::fprintf(stderr,
+                         "--faults applies to a single --scenario run, "
+                         "not to 'all'\n");
+            return 2;
+        }
         const auto& specs = scenarios::AllScenarios();
         const auto results = scenarios::RunScenarios(specs, opts, jobs);
         int unexpected = 0;
@@ -169,15 +185,40 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
         return unexpected > 0 ? 1 : 0;
     }
 
-    const scenarios::ScenarioSpec* spec = scenarios::FindScenario(name);
-    if (spec == nullptr) {
+    const scenarios::ScenarioSpec* found = scenarios::FindScenario(name);
+    if (found == nullptr) {
         std::fprintf(stderr,
                      "unknown scenario: %s (try --list-scenarios)\n",
                      name.c_str());
         return 2;
     }
-    const auto m = scenarios::RunScenario(*spec, opts);
-    const bool unexpected = UnexpectedViolation(*spec, m);
+    scenarios::ScenarioSpec spec = *found;
+    if (faults != nullptr) {
+        // Cluster-layer faults on a single-server scenario would be
+        // silently dropped at resolution — the user would believe they
+        // measured a degraded run that never degraded.
+        if (spec.topology == scenarios::Topology::kSingleServer) {
+            for (const chaos::FaultSpec& f : faults->faults) {
+                if (f.kind == chaos::FaultKind::kLeafCrash ||
+                    f.kind == chaos::FaultKind::kSlackFreeze) {
+                    std::fprintf(
+                        stderr,
+                        "error: --faults clause '%s:leaf%d' needs a "
+                        "cluster scenario; %s is single-server\n",
+                        chaos::FaultKindName(f.kind).c_str(), f.leaf,
+                        spec.name.c_str());
+                    return 2;
+                }
+            }
+        }
+        // The command-line plan replaces the cataloged one, and any SLO
+        // outcome under ad-hoc degradation is acceptable — the run's
+        // verdict is the invariant count in the metrics record.
+        spec.faults = *faults;
+        spec.expect_slo_violation = true;
+    }
+    const auto m = scenarios::RunScenario(spec, opts);
+    const bool unexpected = UnexpectedViolation(spec, m);
     if (json) {
         std::fputs(MetricsJsonWithVerdict(m, unexpected ? 1 : 0).c_str(),
                    stdout);
@@ -246,6 +287,8 @@ main(int argc, char** argv)
     bool adhoc_given = false;  // any --lc/--be/--policy/--load/... flag
     std::string sweep_spec;
     std::string scenario_name;
+    std::string faults_spec;
+    bool faults_given = false;
     double scale = 1.0;
     bool scale_given = false;
     bool json = false;
@@ -273,7 +316,18 @@ main(int argc, char** argv)
         } else if (!std::strcmp(argv[i], "--measure-s")) {
             measure_s = std::atof(adhoc_next());
         } else if (!std::strcmp(argv[i], "--seed")) {
-            seed = std::strtoull(next(), nullptr, 10);
+            // Garbage must not silently become seed 0 — the run would
+            // "reproduce" something the user never asked for.
+            const char* v = next();
+            char* end = nullptr;
+            seed = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0') {
+                std::fprintf(stderr,
+                             "error: --seed wants a non-negative "
+                             "integer, got '%s'\n",
+                             v);
+                return 2;
+            }
             seed_given = true;
         } else if (!std::strcmp(argv[i], "--sweep")) {
             sweep_spec = adhoc_next();
@@ -286,9 +340,22 @@ main(int argc, char** argv)
         } else if (!std::strcmp(argv[i], "--scenario")) {
             scenario_name = next();
         } else if (!std::strcmp(argv[i], "--scale")) {
-            scale = std::atof(next());
+            // A non-positive (or unparsable) scale would collapse every
+            // phase to its floor — or to nonsense; fail loudly instead.
+            const char* v = next();
+            char* end = nullptr;
+            scale = std::strtod(v, &end);
             scale_given = true;
-            if (scale <= 0.0) Usage(argv[0]);
+            if (end == v || *end != '\0' || scale <= 0.0) {
+                std::fprintf(stderr,
+                             "error: --scale wants a positive number, "
+                             "got '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--faults")) {
+            faults_spec = next();
+            faults_given = true;
         } else if (!std::strcmp(argv[i], "--json")) {
             json = true;
         } else {
@@ -297,10 +364,21 @@ main(int argc, char** argv)
     }
     if (load <= 0.0 || load > 1.0) Usage(argv[0]);
 
-    if (scenario_name.empty() && (scale_given || json)) {
+    if (scenario_name.empty() && (scale_given || json || faults_given)) {
         std::fprintf(stderr,
-                     "--scale/--json only apply to --scenario runs\n");
+                     "--scale/--json/--faults only apply to --scenario "
+                     "runs\n");
         return 2;
+    }
+    chaos::FaultPlan faults;
+    if (faults_given) {
+        std::string error;
+        if (!chaos::ParseFaultPlan(faults_spec, &faults, &error)) {
+            std::fprintf(stderr, "error: bad --faults spec: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        if (seed_given) faults.seed = seed ^ 0xC7A05;
     }
     if (!scenario_name.empty()) {
         if (adhoc_given) {
@@ -316,7 +394,8 @@ main(int argc, char** argv)
         scenarios::RunOptions opts;
         opts.time_scale = scale;
         if (seed_given) opts.seed = seed;
-        return RunScenarioMode(scenario_name, opts, jobs, json);
+        return RunScenarioMode(scenario_name, opts, jobs, json,
+                               faults_given ? &faults : nullptr);
     }
 
     exp::ExperimentConfig cfg;
