@@ -1,8 +1,10 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
+#include "cluster/epoch.h"
 #include "exp/server_sim.h"
 #include "heracles/controller.h"
 #include "hw/machine.h"
@@ -19,6 +21,19 @@ namespace {
 /**
  * One assembled cluster: machines, leaves, per-leaf Heracles, a root
  * topology and (optionally) the cluster-level BE scheduler.
+ *
+ * Execution is epoch-partitioned: every leaf owns its own event queue
+ * and advances one barrier interval at a time (cluster/epoch.h), fanned
+ * across the runner pool. Root-side work — closing SLO windows, the
+ * scheduler tick, cluster fault boundaries, arrival generation — runs
+ * single-threaded at the barriers, so the only cross-leaf channels are
+ * the staged arrival inboxes (root → leaf, written before an epoch) and
+ * the reply outboxes (leaf → root, drained after it). The barrier
+ * schedule and the inbox/outbox merge order depend only on the
+ * configuration, never on thread count, which keeps a jobs=N run
+ * bit-identical to jobs=1 — and, by matching the old shared queue's
+ * insertion-order tie-breaks at the barriers, byte-identical to the
+ * serial single-queue implementation this replaced.
  */
 class ClusterSim
 {
@@ -63,12 +78,12 @@ class ClusterSim
 
         // The alone-rate baselines and per-leaf bandwidth-model profiles
         // are independent standalone simulations / analytic evaluations;
-        // fan them across the runner pool before assembling the leaves
-        // on the shared queue. Alone rates are deduplicated: pinned
-        // jobs by (job, machine) pair in leaf order (the uniform paper
-        // cluster yields exactly [brain, streetview]), queued jobs by
-        // job-major over the distinct machine shapes, since a scheduled
-        // job can land on any leaf.
+        // fan them across the runner pool before assembling the leaves.
+        // Alone rates are deduplicated: pinned jobs by (job, machine)
+        // pair in leaf order (the uniform paper cluster yields exactly
+        // [brain, streetview]), queued jobs by job-major over the
+        // distinct machine shapes, since a scheduled job can land on any
+        // leaf.
         struct AloneEntry {
             const workloads::BeProfile* job;
             const hw::MachineConfig* machine;
@@ -136,6 +151,7 @@ class ClusterSim
                 }
             });
 
+        leaves_.reserve(static_cast<size_t>(n));
         for (int i = 0; i < n; ++i) {
             const LeafSpec& ls = specs[i];
             exp::ServerSpec spec;
@@ -168,19 +184,24 @@ class ClusterSim
                 spec.policy = exp::PolicyKind::kNoColocation;
             }
 
-            auto server = std::make_unique<exp::ServerSim>(spec, queue_);
+            Leaf leaf;
+            leaf.queue = std::make_unique<sim::EventQueue>();
+            leaf.server =
+                std::make_unique<exp::ServerSim>(spec, *leaf.queue);
 
             const int idx = static_cast<int>(leaves_.size());
-            workloads::LcApp& lc = server->lc();
+            workloads::LcApp& lc = leaf.server->lc();
             lc.SetLoad(0.0);  // rate bookkeeping only; driven externally
             lc.StartExternal();
+            // Replies never cross into root state mid-epoch: they land
+            // in the leaf's own outbox (thread-confined) and the root
+            // merges all outboxes at the next barrier.
             lc.SetCompletionCallback(
                 [this, idx](uint64_t tag, sim::Duration latency) {
-                    OnLeafReply(idx, tag, latency);
+                    Leaf& l = leaves_[static_cast<size_t>(idx)];
+                    l.outbox.push_back({l.queue->Now(), tag, latency});
                 });
 
-            Leaf leaf;
-            leaf.server = std::move(server);
             leaf.base_slo = ls.lc.slo_latency;
             leaf.be_alone = be_alone;
             if (colocate && !scheduled) leaf.pinned = ls.be;
@@ -196,7 +217,7 @@ class ClusterSim
 
         crashed_.assign(static_cast<size_t>(n), false);
         topo_ = MakeTopology(cfg_.topology, n, cfg_.shards,
-                             cfg_.seed ^ 0x70B0C0DEull);
+                             cfg_.rack_size, cfg_.seed ^ 0x70B0C0DEull);
         if (scheduled) {
             scheduler_ = std::make_unique<ClusterScheduler>(
                 cfg_.scheduler, num_jobs, n);
@@ -208,27 +229,54 @@ class ClusterSim
         for (auto& leaf : leaves_) leaf.server->StopController();
     }
 
-    /** Runs the trace; per-window results land in the series. */
+    /**
+     * Runs the trace through the epoch engine; per-window results land
+     * in the series. Each barrier interval: stage the interval's
+     * arrivals into the leaf inboxes, advance every leaf (in parallel)
+     * to just before the barrier instant, then do the root's barrier
+     * work in the old shared queue's tie-break order — drain replies,
+     * apply fault boundaries, close the SLO window, tick the scheduler.
+     */
     void
     Run(sim::Duration duration, sim::Duration warmup)
     {
         warmup_end_ = warmup;
-        for (const chaos::TimedFault& f : cluster_faults_) {
-            if (f.kind != chaos::FaultKind::kLeafCrash) continue;
-            queue_.ScheduleAt(f.begin,
-                              [this, li = f.leaf] { CrashLeaf(li); });
-            queue_.ScheduleAt(f.end,
-                              [this, li = f.leaf] { RecoverLeaf(li); });
+        // A fault window opening at t = 0 acts before the first epoch
+        // (its one-shot had the smallest insertion seq on the old
+        // shared queue).
+        ApplyFaultBoundaries(0);
+        const BarrierClock clock = BarrierClock::Build(
+            duration, cfg_.root_window,
+            scheduler_ != nullptr ? cfg_.scheduler.period : 0,
+            cluster_faults_);
+        epochs_ += clock.size();
+
+        std::unique_ptr<runner::Pool> pool;
+        if (cfg_.jobs > 1 && leaves_.size() > 1) {
+            pool = std::make_unique<runner::Pool>(std::min(
+                cfg_.jobs, static_cast<int>(leaves_.size())));
         }
-        ScheduleNextQuery();
-        queue_.SchedulePeriodic(cfg_.root_window, cfg_.root_window,
-                                [this] { CloseWindow(); });
-        if (scheduler_ != nullptr) {
-            queue_.SchedulePeriodic(cfg_.scheduler.period,
-                                    cfg_.scheduler.period,
-                                    [this] { SchedulerTick(); });
+        for (const sim::SimTime t : clock.barriers) {
+            for (auto& leaf : leaves_) leaf.inbox.clear();
+            PumpArrivals(/*limit=*/t);
+            runner::ParallelFor(pool.get(), leaves_.size(), [&](size_t i) {
+                StepLeaf(leaves_[i], t, /*inclusive=*/false);
+            });
+            DrainOutboxes();
+            ApplyFaultBoundaries(t);
+            if (t % cfg_.root_window == 0) CloseWindow(t);
+            if (scheduler_ != nullptr && t % cfg_.scheduler.period == 0) {
+                SchedulerTick(t);
+            }
         }
-        queue_.RunFor(duration);
+        // The shared queue's RunFor(duration) was inclusive, with leaf
+        // events at the final instant firing *after* the root's — run
+        // them (and any arrival at exactly `duration`) last.
+        for (auto& leaf : leaves_) leaf.inbox.clear();
+        PumpArrivals(duration + 1);
+        runner::ParallelFor(pool.get(), leaves_.size(), [&](size_t i) {
+            StepLeaf(leaves_[i], duration, /*inclusive=*/true);
+        });
     }
 
     /**
@@ -276,6 +324,18 @@ class ClusterSim
     const sim::TimeSeries& load_series() const { return load_; }
     sim::Duration worst_window() const { return worst_window_; }
 
+    /** Barrier intervals executed (across Run calls). */
+    uint64_t epochs() const { return epochs_; }
+
+    /** Events executed across every leaf's queue. */
+    uint64_t
+    leaf_events() const
+    {
+        uint64_t total = 0;
+        for (const auto& leaf : leaves_) total += leaf.queue->executed();
+        return total;
+    }
+
     /** Sums per-leaf controller stats and actuation counts into @p r. */
     void
     AccumulateActivity(ClusterResult& r) const
@@ -312,7 +372,23 @@ class ClusterSim
     }
 
   private:
+    /** One staged root → leaf query injection. */
+    struct Arrival {
+        sim::SimTime when;
+        uint64_t tag;
+    };
+
+    /** One leaf → root completion record. */
+    struct Reply {
+        sim::SimTime when;
+        uint64_t tag;
+        sim::Duration latency;
+    };
+
     struct Leaf {
+        /** The leaf's own clock: the partitioned engine's unit of
+         *  parallelism. Owned here so ServerSim can keep borrowing. */
+        std::unique_ptr<sim::EventQueue> queue;
         std::unique_ptr<exp::ServerSim> server;
         sim::Duration base_slo = 0;  ///< Tail target at assembly.
         double be_alone = 1.0;       ///< Pinned job's alone rate.
@@ -321,6 +397,13 @@ class ClusterSim
         int job = -1;  ///< Queued-job index hosted here (-1 = none).
         /** Statically-pinned BE profile (restarts after a crash). */
         std::optional<workloads::BeProfile> pinned;
+
+        /** This epoch's staged arrivals (root-written at the barrier,
+         *  injected by the leaf's own chain of events). */
+        std::vector<Arrival> inbox;
+        size_t inbox_pos = 0;
+        /** Completions since the last barrier (leaf-thread-confined). */
+        std::vector<Reply> outbox;
 
         workloads::LcApp& lc() const { return server->lc(); }
         workloads::BeTask* be() const { return server->be(); }
@@ -331,28 +414,47 @@ class ClusterSim
         sim::Duration max_latency = 0;
     };
 
+    /**
+     * Generates and dispatches every arrival strictly before @p limit.
+     * Reproduces the old self-rescheduling query event exactly: the gap
+     * after an arrival at t is drawn (one Exponential per arrival, plus
+     * one priming draw) from the load at t, so the RNG stream and every
+     * arrival instant are byte-identical to the serial implementation.
+     */
     void
-    ScheduleNextQuery()
+    PumpArrivals(sim::SimTime limit)
     {
-        const double load = trace_.LoadAt(queue_.Now());
+        if (!primed_) {
+            next_arrival_ = gen_time_ + NextGap();
+            primed_ = true;
+        }
+        while (next_arrival_ < limit) {
+            DispatchArrival(next_arrival_);
+            gen_time_ = next_arrival_;
+            next_arrival_ = gen_time_ + NextGap();
+        }
+    }
+
+    sim::Duration
+    NextGap()
+    {
+        const double load = trace_.LoadAt(gen_time_);
         const double rate = std::max(load * cfg_.lc.peak_qps, 1.0);
-        const sim::Duration gap = std::max<sim::Duration>(
+        return std::max<sim::Duration>(
             1, sim::Seconds(rng_.Exponential(1.0 / rate)));
-        queue_.ScheduleAfter(gap, [this] {
-            OnQueryArrival();
-            ScheduleNextQuery();
-        });
     }
 
     void
-    OnQueryArrival()
+    DispatchArrival(sim::SimTime when)
     {
         const uint64_t tag = next_tag_++;
         topo_->TouchedLeaves(tag, &touched_);
         // Crashed leaves answer nothing; the root combines whatever the
         // surviving replicas return. A query whose every touched leaf
         // is dark is lost (an error response, outside the latency
-        // statistics).
+        // statistics). Crash state only changes at barriers, so the
+        // liveness seen here matches what the arrival would have seen
+        // firing inside the epoch.
         int alive = 0;
         for (int li : touched_) {
             if (!crashed_[static_cast<size_t>(li)]) ++alive;
@@ -361,7 +463,96 @@ class ClusterSim
         pending_[tag] = Query{alive, 0};
         for (int li : touched_) {
             if (crashed_[static_cast<size_t>(li)]) continue;
-            leaves_[static_cast<size_t>(li)].lc().InjectRequest(tag);
+            leaves_[static_cast<size_t>(li)].inbox.push_back({when, tag});
+        }
+    }
+
+    /**
+     * Schedules the leaf's next staged injection. Each injection event
+     * schedules its successor when it fires, mirroring the old
+     * self-rescheduling arrival's insertion order inside the leaf's
+     * queue (inject, then schedule the next — so a request's completion
+     * event still sorts ahead of the next arrival at equal times).
+     */
+    void
+    ScheduleInjection(Leaf* leaf)
+    {
+        const Arrival& next = leaf->inbox[leaf->inbox_pos];
+        leaf->queue->ScheduleAt(next.when, [this, leaf] {
+            const Arrival cur = leaf->inbox[leaf->inbox_pos++];
+            leaf->lc().InjectRequest(cur.tag);
+            if (leaf->inbox_pos < leaf->inbox.size()) {
+                ScheduleInjection(leaf);
+            }
+        });
+    }
+
+    /** Advances one leaf to the barrier at @p until (exclusive for all
+     *  interior barriers; inclusive only for the final instant). Runs
+     *  on a pool thread: touches nothing but this leaf's state. */
+    void
+    StepLeaf(Leaf& leaf, sim::SimTime until, bool inclusive)
+    {
+        leaf.inbox_pos = 0;
+        if (!leaf.inbox.empty()) ScheduleInjection(&leaf);
+        if (inclusive) {
+            leaf.queue->RunUntil(until);
+        } else {
+            leaf.queue->RunUntilBefore(until);
+        }
+    }
+
+    /**
+     * Merges every leaf's completions since the last barrier and applies
+     * them to the root's fan-out bookkeeping in completion-time order
+     * (stable by leaf index for equal stamps — a fixed order no thread
+     * schedule can perturb), reproducing the serial implementation's
+     * global completion order and its floating-point window summation.
+     */
+    void
+    DrainOutboxes()
+    {
+        merged_.clear();
+        for (auto& leaf : leaves_) {
+            merged_.insert(merged_.end(), leaf.outbox.begin(),
+                           leaf.outbox.end());
+            leaf.outbox.clear();
+        }
+        std::stable_sort(merged_.begin(), merged_.end(),
+                         [](const Reply& a, const Reply& b) {
+                             return a.when < b.when;
+                         });
+        for (const Reply& r : merged_) HandleReply(r.tag, r.latency);
+    }
+
+    void
+    HandleReply(uint64_t tag, sim::Duration latency)
+    {
+        auto it = pending_.find(tag);
+        if (it == pending_.end()) return;
+        Query& q = it->second;
+        q.max_latency = std::max(q.max_latency, latency);
+        if (--q.remaining == 0) {
+            const sim::Duration root_latency =
+                q.max_latency +
+                2 * cfg_.hop * topo_->HopLevels();
+            window_sum_ += static_cast<double>(root_latency);
+            ++window_count_;
+            pending_.erase(it);
+        }
+    }
+
+    /** Applies every cluster-fault boundary landing exactly at @p t, in
+     *  plan order with begin before end per fault — the insertion order
+     *  (and so the firing order) of their one-shots on the old shared
+     *  queue. */
+    void
+    ApplyFaultBoundaries(sim::SimTime t)
+    {
+        for (const chaos::TimedFault& f : cluster_faults_) {
+            if (f.kind != chaos::FaultKind::kLeafCrash) continue;
+            if (f.begin == t) CrashLeaf(f.leaf);
+            if (f.end == t) RecoverLeaf(f.leaf);
         }
     }
 
@@ -394,25 +585,8 @@ class ClusterSim
     }
 
     void
-    OnLeafReply(int /*leaf*/, uint64_t tag, sim::Duration latency)
+    CloseWindow(sim::SimTime now)
     {
-        auto it = pending_.find(tag);
-        if (it == pending_.end()) return;
-        Query& q = it->second;
-        q.max_latency = std::max(q.max_latency, latency);
-        if (--q.remaining == 0) {
-            const sim::Duration root_latency =
-                q.max_latency + 2 * cfg_.hop;
-            window_sum_ += static_cast<double>(root_latency);
-            ++window_count_;
-            pending_.erase(it);
-        }
-    }
-
-    void
-    CloseWindow()
-    {
-        const sim::SimTime now = queue_.Now();
         if (window_count_ > 0 && now > warmup_end_) {
             const double mean = window_sum_ / window_count_;
             AdjustLeafTargets(mean);
@@ -442,9 +616,8 @@ class ClusterSim
 
     /** One cluster-scheduler period: export slack, apply the moves. */
     void
-    SchedulerTick()
+    SchedulerTick(sim::SimTime now)
     {
-        const sim::SimTime now = queue_.Now();
         std::vector<ClusterScheduler::LeafState> states(leaves_.size());
         for (size_t i = 0; i < leaves_.size(); ++i) {
             ClusterScheduler::LeafState& s = states[i];
@@ -515,22 +688,28 @@ class ClusterSim
     const sim::LoadTrace& trace_;
     sim::Duration target_;
     sim::Rng rng_;
-    sim::EventQueue queue_;
     std::vector<Leaf> leaves_;
     std::unique_ptr<Topology> topo_;
     std::unique_ptr<ClusterScheduler> scheduler_;
-    std::vector<int> touched_;  // per-query scratch
+    std::vector<int> touched_;    // per-query scratch
+    std::vector<Reply> merged_;   // per-barrier scratch
 
     std::vector<chaos::TimedFault> cluster_faults_;
     std::vector<FrozenExport> frozen_;  // aligned with cluster_faults_
     std::vector<bool> crashed_;
     uint64_t cluster_violations_ = 0;
 
+    // Root arrival generator (the old self-rescheduling query event).
     uint64_t next_tag_ = 1;
+    sim::SimTime gen_time_ = 0;      ///< Instant the next gap is drawn at.
+    sim::SimTime next_arrival_ = 0;  ///< Lookahead arrival instant.
+    bool primed_ = false;
+
     std::unordered_map<uint64_t, Query> pending_;
     double window_sum_ = 0.0;
     uint64_t window_count_ = 0;
     sim::SimTime warmup_end_ = 0;
+    uint64_t epochs_ = 0;
 
     sim::TimeSeries latency_;
     sim::TimeSeries emu_;
@@ -659,6 +838,8 @@ ClusterExperiment::Run()
     r.avg_emu = r.emu.MeanValue();
     r.min_emu = r.emu.MinValue();
     r.target = target_;
+    r.epochs = sim.epochs();
+    r.leaf_events = sim.leaf_events();
     return r;
 }
 

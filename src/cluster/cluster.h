@@ -60,9 +60,12 @@ struct ClusterConfig {
     std::vector<LeafSpec> leaf_specs;
 
     /** Root fan-out shape; shards only applies to kSharded (<= leaves;
-     *  0 picks one shard per leaf, i.e. full fan-out degenerate). */
+     *  0 picks one shard per leaf, i.e. full fan-out degenerate) and
+     *  rack_size to kHierarchical (leaves per rack, clamped to the
+     *  leaf count). */
     TopologyKind topology = TopologyKind::kFullFanout;
     int shards = 0;
+    int rack_size = 0;
 
     /**
      * Cluster-level BE scheduling. kStaticSplit runs the LeafSpec-pinned
@@ -127,11 +130,13 @@ struct ClusterConfig {
     uint64_t seed = 42;
 
     /**
-     * Worker threads for the embarrassingly-parallel assembly work
-     * (BE alone-rate baselines, per-leaf bandwidth-model profiling).
-     * The coupled root/leaf simulation itself is single-threaded and
-     * its results do not depend on this value. Defaults to the tree's
-     * shared policy (HERACLES_JOBS env var, else hardware concurrency).
+     * Worker threads for the run: the assembly work (BE alone-rate
+     * baselines, per-leaf bandwidth-model profiling) and the epoch
+     * engine's per-barrier leaf fan-out both use this width. Results
+     * never depend on it — leaves exchange state only at deterministic
+     * epoch barriers, so jobs=N is bit-identical to jobs=1. Defaults to
+     * the tree's shared policy (HERACLES_JOBS env var, else hardware
+     * concurrency).
      */
     int jobs = runner::DefaultJobs();
 };
@@ -170,6 +175,13 @@ struct ClusterResult {
     // placed onto a crashed leaf), and per-leaf degraded operations.
     uint64_t invariant_violations = 0;
     uint64_t faulted_ops = 0;
+
+    // Epoch-engine throughput counters for the colocated run (the
+    // scoreboard of BENCH_cluster.json; not part of the golden metrics
+    // record): barrier intervals executed and events executed across
+    // every leaf's queue.
+    uint64_t epochs = 0;
+    uint64_t leaf_events = 0;
 };
 
 /** Runs the composed cluster under its load trace. */

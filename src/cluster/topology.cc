@@ -1,5 +1,7 @@
 #include "cluster/topology.h"
 
+#include <algorithm>
+
 #include "sim/log.h"
 
 namespace heracles::cluster {
@@ -23,6 +25,7 @@ TopologyKindName(TopologyKind kind)
     switch (kind) {
       case TopologyKind::kFullFanout: return "full-fanout";
       case TopologyKind::kSharded: return "sharded";
+      case TopologyKind::kHierarchical: return "hierarchical";
     }
     return "?";
 }
@@ -65,14 +68,55 @@ ShardedTopology::TouchedLeaves(uint64_t tag, std::vector<int>* out) const
     }
 }
 
-std::unique_ptr<Topology>
-MakeTopology(TopologyKind kind, int leaves, int shards, uint64_t seed)
+HierarchicalTopology::HierarchicalTopology(int leaves, int rack_size,
+                                           uint64_t seed)
+    : leaves_(leaves),
+      rack_size_(std::min(rack_size, leaves)),
+      racks_((leaves + rack_size_ - 1) / rack_size_),
+      seed_(seed)
 {
-    if (kind == TopologyKind::kFullFanout) {
-        return std::make_unique<FullFanoutTopology>(leaves);
+    HERACLES_CHECK_MSG(leaves >= 1 && rack_size >= 1,
+                       "hierarchical topology needs leaves >= 1 and "
+                       "rack_size >= 1, got "
+                           << leaves << " leaves, racks of " << rack_size);
+}
+
+int
+HierarchicalTopology::RackMembers(int rack) const
+{
+    return std::min(rack_size_, leaves_ - rack * rack_size_);
+}
+
+void
+HierarchicalTopology::TouchedLeaves(uint64_t tag,
+                                    std::vector<int>* out) const
+{
+    out->clear();
+    for (int rack = 0; rack < racks_; ++rack) {
+        const int members = RackMembers(rack);
+        const uint64_t h =
+            Mix64(seed_ ^ (tag * 0x2545f4914f6cdd1dull) ^
+                  static_cast<uint64_t>(rack) * 0x9e3779b9ull);
+        const int member = static_cast<int>(h % members);
+        out->push_back(rack * rack_size_ + member);
     }
-    return std::make_unique<ShardedTopology>(
-        leaves, shards > 0 ? shards : leaves, seed);
+}
+
+std::unique_ptr<Topology>
+MakeTopology(TopologyKind kind, int leaves, int shards, int rack_size,
+             uint64_t seed)
+{
+    switch (kind) {
+      case TopologyKind::kFullFanout:
+        return std::make_unique<FullFanoutTopology>(leaves);
+      case TopologyKind::kSharded:
+        return std::make_unique<ShardedTopology>(
+            leaves, shards > 0 ? shards : leaves, seed);
+      case TopologyKind::kHierarchical:
+        return std::make_unique<HierarchicalTopology>(leaves, rack_size,
+                                                      seed);
+    }
+    HERACLES_FATAL("unhandled topology kind");
 }
 
 }  // namespace heracles::cluster

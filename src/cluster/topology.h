@@ -23,11 +23,12 @@ namespace heracles::cluster {
 
 /** How the root spreads one query over the leaves. */
 enum class TopologyKind {
-    kFullFanout,  ///< Every query touches every leaf (the paper).
-    kSharded,     ///< One replica per shard; partial fan-out.
+    kFullFanout,    ///< Every query touches every leaf (the paper).
+    kSharded,       ///< One replica per shard; partial fan-out.
+    kHierarchical,  ///< leaf → rack → pod root; one leaf per rack.
 };
 
-/** Human-readable topology name ("full-fanout" / "sharded"). */
+/** Human-readable topology name ("full-fanout" / "sharded" / ...). */
 std::string TopologyKindName(TopologyKind kind);
 
 /**
@@ -49,6 +50,12 @@ class Topology
 
     /** Leaves touched per query (constant per topology). */
     virtual int FanOut() const = 0;
+
+    /** Aggregation levels between the root and a leaf: each level adds
+     *  one request/response hop pair to root latency. Flat topologies
+     *  have one level; the hierarchical tree has two (root → rack,
+     *  rack → leaf). */
+    virtual int HopLevels() const { return 1; }
 };
 
 /** The paper's topology: every query to every leaf. */
@@ -94,12 +101,47 @@ class ShardedTopology : public Topology
 };
 
 /**
- * Builds the topology for a cluster of @p leaves: full fan-out when
- * @p shards <= 0 (the legacy default), sharded otherwise. Aborts when
- * shards exceeds the leaf count.
+ * Two-level fan-out tree: leaves are grouped into racks of @p rack_size
+ * (the last rack may be short) and each rack holds one shard of the
+ * index, replicated across its members. The pod root fans a query to
+ * every rack; each rack root picks one member replica by a deterministic
+ * hash of (seed, tag, rack) — no RNG stream is consumed. Fan-out is the
+ * rack count, so the root's connection degree scales with racks, not
+ * leaves, and latency pays two hop levels (root → rack → leaf).
+ */
+class HierarchicalTopology : public Topology
+{
+  public:
+    /** @pre leaves >= 1, rack_size >= 1. */
+    HierarchicalTopology(int leaves, int rack_size, uint64_t seed);
+
+    TopologyKind kind() const override { return TopologyKind::kHierarchical; }
+    void TouchedLeaves(uint64_t tag, std::vector<int>* out) const override;
+    int FanOut() const override { return racks_; }
+    int HopLevels() const override { return 2; }
+
+    int racks() const { return racks_; }
+    int RackOf(int leaf) const { return leaf / rack_size_; }
+    /** Member count of @p rack (the last rack may be short). */
+    int RackMembers(int rack) const;
+
+  private:
+    int leaves_;
+    int rack_size_;
+    int racks_;
+    uint64_t seed_;
+};
+
+/**
+ * Builds the topology for a cluster of @p leaves. kSharded uses
+ * @p shards (<= 0 picks one shard per leaf, i.e. full fan-out
+ * degenerate); kHierarchical groups leaves into racks of @p rack_size
+ * (clamped to the leaf count, so a small golden-scale cluster collapses
+ * to one rack). Aborts when shards exceeds the leaf count.
  */
 std::unique_ptr<Topology> MakeTopology(TopologyKind kind, int leaves,
-                                       int shards, uint64_t seed);
+                                       int shards, int rack_size,
+                                       uint64_t seed);
 
 }  // namespace heracles::cluster
 

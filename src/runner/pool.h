@@ -78,6 +78,16 @@ class Pool
 void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& fn);
 
 /**
+ * ParallelFor over an existing pool, for callers that fan out repeatedly
+ * (the epoch engine dispatches its leaves every barrier interval — a
+ * thread spawn per epoch would dominate short intervals). @p pool may be
+ * nullptr, which runs inline in index order like jobs <= 1. Blocks until
+ * every index has completed; the caller must not submit other work to
+ * @p pool concurrently.
+ */
+void ParallelFor(Pool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+/**
  * ParallelFor that collects fn(i) into a vector indexed by i. Results
  * are merged in submission (index) order, so the output is identical for
  * every jobs value.

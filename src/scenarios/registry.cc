@@ -260,6 +260,40 @@ BuildCatalog()
         all.push_back(s);
     }
 
+    // --- cluster scale: the epoch engine's reason to exist ---------------
+    // Thousand-leaf pods under the hierarchical leaf → rack → pod-root
+    // topology. At golden scale these shrink to the usual 3 leaves (one
+    // rack) and regress like any other scenario; at full scale they are
+    // the BENCH_cluster.json workloads, where per-epoch leaf fan-out
+    // actually has thousands of independent queues to spread.
+    {
+        ScenarioSpec s = Cluster(
+            "cluster_scale_rack_sharded",
+            "1024 uniform leaves in 16 racks behind a two-level root",
+            /*colocate=*/true, /*central=*/false, 51);
+        s.leaves = 1024;
+        s.rack_size = 64;
+        s.load_high = 0.60;  // a pod this wide never runs near peak
+        s.cluster_duration = sim::Minutes(3);
+        all.push_back(s);
+    }
+    {
+        ScenarioSpec s = Cluster(
+            "cluster_scale_hetero_greedy",
+            "1040 mixed leaves, 16 racks, greedy scheduler placing 3 jobs",
+            /*colocate=*/true, /*central=*/false, 52);
+        s.leaves = 1040;
+        s.rack_size = 65;
+        s.load_high = 0.60;
+        s.leaf_mix = hetero_mix;
+        s.be = "brain+streetview";
+        s.be_jobs = {"brain", "streetview", "brain"};
+        s.scheduler = cluster::SchedulerPolicy::kGreedySlack;
+        s.per_leaf_targets = true;
+        s.cluster_duration = sim::Minutes(3);
+        all.push_back(s);
+    }
+
     // --- chaos family: degraded telemetry, stuck actuators, abrupt
     // --- interference, crashing leaves --------------------------------------
     // Every scenario here runs the same controller under a seeded

@@ -287,7 +287,10 @@ ClusterConfigFor(const ScenarioSpec& spec, const RunOptions& opts)
         leaf.tail_scale = t.tail_scale;
         cfg.leaf_specs.push_back(std::move(leaf));
     }
-    if (spec.shards > 0) {
+    if (spec.rack_size > 0) {
+        cfg.topology = cluster::TopologyKind::kHierarchical;
+        cfg.rack_size = spec.rack_size;
+    } else if (spec.shards > 0) {
         cfg.topology = cluster::TopologyKind::kSharded;
         cfg.shards = spec.shards;
     }
@@ -329,9 +332,11 @@ ClusterConfigFor(const ScenarioSpec& spec, const RunOptions& opts)
         Scale(cfg.run_warmup, opts.time_scale, sim::Seconds(40));
     cfg.central_controller = spec.central_controller;
     cfg.seed = opts.seed.value_or(spec.seed);
-    // The coupled root/leaf simulation is single-threaded; keep the
-    // assembly serial too so nested scenario fan-out never stacks pools.
-    cfg.jobs = 1;
+    // The epoch engine makes cluster runs thread-count-invariant, so
+    // this only sets how wide one scenario fans its leaves (and its
+    // assembly profiling). The default of 1 keeps nested catalog
+    // sweeps from stacking pools.
+    cfg.jobs = std::max(opts.cluster_jobs, 1);
     return cfg;
 }
 

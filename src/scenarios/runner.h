@@ -34,6 +34,14 @@ struct RunOptions {
     std::optional<uint64_t> seed;
     /** Overrides the spec's cluster leaf count when positive. */
     int cluster_leaves = 0;
+    /**
+     * Worker threads for the cluster epoch engine (and assembly-time
+     * profiling) of each cluster scenario — the --cluster-jobs flag.
+     * Metrics are bit-identical across values; 1 keeps a catalog sweep's
+     * per-scenario work serial so RunScenarios' own fan-out composes
+     * without oversubscription.
+     */
+    int cluster_jobs = 1;
 
     /** Reduced-scale preset used by the golden regression harness. */
     static RunOptions Golden();

@@ -113,6 +113,9 @@ struct ScenarioSpec {
     std::vector<ClusterLeafTemplate> leaf_mix;
     /** Shard count (> 0 switches the root to the sharded topology). */
     int shards = 0;
+    /** Leaves per rack (> 0 switches the root to the hierarchical
+     *  leaf → rack → pod-root topology; takes precedence over shards). */
+    int rack_size = 0;
     /** Cluster-level BE scheduling policy. */
     cluster::SchedulerPolicy scheduler =
         cluster::SchedulerPolicy::kStaticSplit;

@@ -66,7 +66,20 @@ EventQueue::Push(SimTime when, Duration period, InlineFn fn)
 void
 EventQueue::RunUntil(SimTime until)
 {
-    while (!heap_.empty() && heap_.top().when <= until) {
+    RunLoop(until, /*inclusive=*/true);
+}
+
+void
+EventQueue::RunUntilBefore(SimTime until)
+{
+    RunLoop(until, /*inclusive=*/false);
+}
+
+void
+EventQueue::RunLoop(SimTime until, bool inclusive)
+{
+    while (!heap_.empty() && (inclusive ? heap_.top().when <= until
+                                        : heap_.top().when < until)) {
         const HeapItem item = heap_.top();
         heap_.pop();
         // The deque keeps slot addresses stable across callbacks, but a

@@ -117,6 +117,18 @@ class EventQueue
     /** Runs events until the queue is empty or the clock reaches @p until. */
     void RunUntil(SimTime until);
 
+    /**
+     * Runs events strictly before @p until (when < until), then advances
+     * the clock to @p until; events at exactly @p until stay pending and
+     * fire on the next run. This is the epoch engine's leaf-stepping
+     * primitive: on the old shared queue, root-side barrier work
+     * (window close, scheduler tick, fault boundaries) was inserted
+     * earlier and therefore fired *before* any leaf event carrying the
+     * same timestamp — stopping each leaf short of the barrier instant
+     * reproduces that order with per-leaf queues.
+     */
+    void RunUntilBefore(SimTime until);
+
     /** Runs events for @p span of simulated time from the current clock. */
     void RunFor(Duration span) { RunUntil(now_ + span); }
 
@@ -187,6 +199,7 @@ class EventQueue
     EventId Push(SimTime when, Duration period, InlineFn fn);
     uint32_t AcquireSlot();
     void ReleaseSlot(uint32_t idx);
+    void RunLoop(SimTime until, bool inclusive);
 
     std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
         heap_;

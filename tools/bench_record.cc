@@ -72,15 +72,24 @@ main(int argc, char** argv)
     const double catalog_s = bench::WallSeconds([&] {
         results = scenarios::RunScenarios(specs, opts, /*jobs=*/1);
     });
-    int violations = 0;
+    // Both the count and the offending names go into the record: a
+    // reader of the JSON (CI, or a human diffing two baselines) should
+    // not need the run's stderr to know *which* scenarios regressed.
+    std::vector<std::string> violating;
     for (size_t i = 0; i < results.size(); ++i) {
         if (results[i].slo_attained == 0.0 &&
             !specs[i].expect_slo_violation) {
             std::fprintf(stderr, "unexpected SLO violation: %s\n",
                          results[i].scenario.c_str());
-            ++violations;
+            violating.push_back(results[i].scenario);
         }
     }
+    const int violations = static_cast<int>(violating.size());
+    std::string violating_json = "[";
+    for (size_t i = 0; i < violating.size(); ++i) {
+        violating_json += (i > 0 ? ", \"" : "\"") + violating[i] + "\"";
+    }
+    violating_json += "]";
 
     // --- Microbenches ----------------------------------------------------
     bench::RunEventQueueChurn<sim::EventQueue>(events / 20);  // warmup
@@ -91,7 +100,7 @@ main(int argc, char** argv)
         bench::RunEventQueueChurn<bench::LegacyEventQueue>(events);
     const auto stats = bench::RunStatsStreaming(events);
 
-    char head[512];
+    char head[1024];
     std::snprintf(head, sizeof head,
                   "{\n"
                   "  \"bench\": \"sim_core\",\n"
@@ -100,9 +109,11 @@ main(int argc, char** argv)
                   "    \"scale\": %.3f,\n"
                   "    \"jobs\": 1,\n"
                   "    \"wall_s\": %.3f,\n"
-                  "    \"unexpected_slo_violations\": %d\n"
+                  "    \"unexpected_slo_violations\": %d,\n"
+                  "    \"violating_scenarios\": %s\n"
                   "  },\n",
-                  results.size(), scale, catalog_s, violations);
+                  results.size(), scale, catalog_s, violations,
+                  violating_json.c_str());
 
     const std::string json = std::string(head) +
                              bench::CoreBenchJson(pooled, legacy, stats) +

@@ -14,11 +14,18 @@
  *                [--sweep 0.1,0.3,0.5|paper] [--jobs N]
  *                [--list-scenarios] [--scenario NAME|all]
  *                [--scale F] [--json] [--faults SPEC]
+ *                [--cluster-jobs N]
  *
  * With --sweep, runs every listed load (or the paper's 5%..95% grid)
  * instead of a single point, fanning the independent load points across
  * --jobs worker threads (default: hardware concurrency). Parallel
  * results are bit-identical to --jobs 1.
+ *
+ * --cluster-jobs sets how many worker threads a cluster scenario's
+ * epoch engine fans its leaves across per barrier interval (metrics are
+ * bit-identical for every value). Default: hardware concurrency for a
+ * single cluster scenario, 1 for --scenario all (where --jobs already
+ * parallelizes across scenarios).
  *
  * Scenario mode composes from the catalog (src/scenarios/registry.cc)
  * instead of the ad-hoc flags: --list-scenarios prints the catalog,
@@ -63,7 +70,8 @@ Usage(const char* argv0)
                  "[--measure-s S] [--seed N] "
                  "[--sweep F,F,...|paper] [--jobs N] "
                  "[--list-scenarios] [--scenario NAME|all] "
-                 "[--scale F] [--json] [--faults SPEC]\n",
+                 "[--scale F] [--json] [--faults SPEC] "
+                 "[--cluster-jobs N]\n",
                  argv0);
     std::exit(2);
 }
@@ -293,6 +301,8 @@ main(int argc, char** argv)
     bool scale_given = false;
     bool json = false;
     int jobs = runner::DefaultJobs();
+    int cluster_jobs = 0;
+    bool cluster_jobs_given = false;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* {
@@ -353,6 +363,21 @@ main(int argc, char** argv)
                              v);
                 return 2;
             }
+        } else if (!std::strcmp(argv[i], "--cluster-jobs")) {
+            // Garbage or a non-positive width must not silently run
+            // serial (or die in the pool); fail loudly like --seed.
+            const char* v = next();
+            char* end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "error: --cluster-jobs wants a positive "
+                             "integer, got '%s'\n",
+                             v);
+                return 2;
+            }
+            cluster_jobs = static_cast<int>(n);
+            cluster_jobs_given = true;
         } else if (!std::strcmp(argv[i], "--faults")) {
             faults_spec = next();
             faults_given = true;
@@ -364,10 +389,11 @@ main(int argc, char** argv)
     }
     if (load <= 0.0 || load > 1.0) Usage(argv[0]);
 
-    if (scenario_name.empty() && (scale_given || json || faults_given)) {
+    if (scenario_name.empty() &&
+        (scale_given || json || faults_given || cluster_jobs_given)) {
         std::fprintf(stderr,
-                     "--scale/--json/--faults only apply to --scenario "
-                     "runs\n");
+                     "--scale/--json/--faults/--cluster-jobs only apply "
+                     "to --scenario runs\n");
         return 2;
     }
     chaos::FaultPlan faults;
@@ -394,6 +420,13 @@ main(int argc, char** argv)
         scenarios::RunOptions opts;
         opts.time_scale = scale;
         if (seed_given) opts.seed = seed;
+        // A lone cluster scenario gets the machine's full width by
+        // default; a catalog sweep keeps each scenario serial so the
+        // per-scenario fan-out never stacks on top of --jobs.
+        opts.cluster_jobs =
+            cluster_jobs_given
+                ? cluster_jobs
+                : (scenario_name == "all" ? 1 : runner::DefaultJobs());
         return RunScenarioMode(scenario_name, opts, jobs, json,
                                faults_given ? &faults : nullptr);
     }
