@@ -137,19 +137,24 @@ class ClusterSim
         std::vector<double> alone(entries.size(), 1.0);
         std::vector<ctl::LcBwModel> models(
             colocate ? static_cast<size_t>(n) : 0);
-        runner::ParallelFor(
-            cfg_.jobs, entries.size() + models.size(), [&](size_t i) {
-                if (i < entries.size()) {
-                    alone[i] = workloads::MeasureAloneRate(
-                        *entries[i].machine, *entries[i].job);
-                } else {
-                    const size_t li = i - entries.size();
-                    hw::MachineConfig mcfg = specs[li].machine;
-                    mcfg.seed = cfg_.seed * 131ull + li;
-                    models[li] =
-                        ctl::LcBwModel::Profile(specs[li].lc, mcfg);
-                }
-            });
+        const std::function<void(size_t)> assemble = [&](size_t i) {
+            if (i < entries.size()) {
+                alone[i] = workloads::MeasureAloneRate(
+                    *entries[i].machine, *entries[i].job);
+            } else {
+                const size_t li = i - entries.size();
+                hw::MachineConfig mcfg = specs[li].machine;
+                mcfg.seed = cfg_.seed * 131ull + li;
+                models[li] = ctl::LcBwModel::Profile(specs[li].lc, mcfg);
+            }
+        };
+        if (cfg_.pool != nullptr) {
+            runner::ParallelFor(cfg_.pool, entries.size() + models.size(),
+                                assemble);
+        } else {
+            runner::ParallelFor(cfg_.jobs, entries.size() + models.size(),
+                                assemble);
+        }
 
         leaves_.reserve(static_cast<size_t>(n));
         for (int i = 0; i < n; ++i) {
@@ -216,6 +221,8 @@ class ClusterSim
         }
 
         crashed_.assign(static_cast<size_t>(n), false);
+        batching_ =
+            LeafBatching::Resolve(leaves_.size(), cfg_.leaf_batch);
         topo_ = MakeTopology(cfg_.topology, n, cfg_.shards,
                              cfg_.rack_size, cfg_.seed ^ 0x70B0C0DEull);
         if (scheduled) {
@@ -251,17 +258,17 @@ class ClusterSim
             cluster_faults_);
         epochs_ += clock.size();
 
-        std::unique_ptr<runner::Pool> pool;
-        if (cfg_.jobs > 1 && leaves_.size() > 1) {
-            pool = std::make_unique<runner::Pool>(std::min(
+        runner::Pool* pool = cfg_.pool;
+        std::unique_ptr<runner::Pool> owned;
+        if (pool == nullptr && cfg_.jobs > 1 && leaves_.size() > 1) {
+            owned = std::make_unique<runner::Pool>(std::min(
                 cfg_.jobs, static_cast<int>(leaves_.size())));
+            pool = owned.get();
         }
         for (const sim::SimTime t : clock.barriers) {
             for (auto& leaf : leaves_) leaf.inbox.clear();
             PumpArrivals(/*limit=*/t);
-            runner::ParallelFor(pool.get(), leaves_.size(), [&](size_t i) {
-                StepLeaf(leaves_[i], t, /*inclusive=*/false);
-            });
+            FanOutLeaves(pool, t, /*inclusive=*/false);
             DrainOutboxes();
             ApplyFaultBoundaries(t);
             if (t % cfg_.root_window == 0) CloseWindow(t);
@@ -274,9 +281,7 @@ class ClusterSim
         // them (and any arrival at exactly `duration`) last.
         for (auto& leaf : leaves_) leaf.inbox.clear();
         PumpArrivals(duration + 1);
-        runner::ParallelFor(pool.get(), leaves_.size(), [&](size_t i) {
-            StepLeaf(leaves_[i], duration, /*inclusive=*/true);
-        });
+        FanOutLeaves(pool, duration, /*inclusive=*/true);
     }
 
     /**
@@ -503,26 +508,85 @@ class ClusterSim
     }
 
     /**
+     * Fans every leaf to the barrier at @p until, one pool task per leaf
+     * batch. Batches are submitted heaviest-first — ranked by cumulative
+     * executed events, the best deterministic proxy for how much work
+     * the next interval holds — so the FIFO pool starts the long poles
+     * before the stragglers instead of discovering them last. Both the
+     * batch mapping and the rank are pure functions of simulation state,
+     * never of thread count, and batch execution order cannot change
+     * results (leaves are thread-confined within an epoch).
+     */
+    void
+    FanOutLeaves(runner::Pool* pool, sim::SimTime until, bool inclusive)
+    {
+        const size_t nb = batching_.batches();
+        if (nb <= 1 || pool == nullptr || pool->threads() <= 1) {
+            for (auto& leaf : leaves_) StepLeaf(leaf, until, inclusive);
+            return;
+        }
+        batch_work_.assign(nb, 0);
+        for (size_t i = 0; i < leaves_.size(); ++i) {
+            batch_work_[batching_.BatchOf(i)] +=
+                leaves_[i].queue->executed();
+        }
+        batch_order_.resize(nb);
+        for (size_t b = 0; b < nb; ++b) batch_order_[b] = b;
+        std::stable_sort(batch_order_.begin(), batch_order_.end(),
+                         [this](size_t a, size_t b) {
+                             return batch_work_[a] > batch_work_[b];
+                         });
+        runner::ParallelFor(pool, batch_order_, [&](size_t b) {
+            const size_t end = batching_.BatchEnd(b);
+            for (size_t i = batching_.BatchBegin(b); i < end; ++i) {
+                StepLeaf(leaves_[i], until, inclusive);
+            }
+        });
+    }
+
+    /**
      * Merges every leaf's completions since the last barrier and applies
      * them to the root's fan-out bookkeeping in completion-time order
      * (stable by leaf index for equal stamps — a fixed order no thread
      * schedule can perturb), reproducing the serial implementation's
      * global completion order and its floating-point window summation.
+     *
+     * Each outbox is already time-sorted (a leaf appends at its own
+     * monotone completion instants), so a k-way merge over per-leaf
+     * cursors visits replies in exactly the order the old concatenate +
+     * stable_sort produced — equal stamps break by leaf index, matching
+     * the leaf-major concatenation — without copying every reply into a
+     * scratch buffer and re-sorting per barrier.
      */
     void
     DrainOutboxes()
     {
-        merged_.clear();
-        for (auto& leaf : leaves_) {
-            merged_.insert(merged_.end(), leaf.outbox.begin(),
-                           leaf.outbox.end());
-            leaf.outbox.clear();
+        merge_heap_.clear();
+        merge_pos_.assign(leaves_.size(), 0);
+        for (size_t li = 0; li < leaves_.size(); ++li) {
+            if (!leaves_[li].outbox.empty()) merge_heap_.push_back(li);
         }
-        std::stable_sort(merged_.begin(), merged_.end(),
-                         [](const Reply& a, const Reply& b) {
-                             return a.when < b.when;
-                         });
-        for (const Reply& r : merged_) HandleReply(r.tag, r.latency);
+        // "Greater" by (when, leaf index): the std heap is a max-heap,
+        // so this comparator pops the earliest reply first.
+        const auto later = [this](size_t a, size_t b) {
+            const Reply& ra = leaves_[a].outbox[merge_pos_[a]];
+            const Reply& rb = leaves_[b].outbox[merge_pos_[b]];
+            return ra.when != rb.when ? ra.when > rb.when : a > b;
+        };
+        std::make_heap(merge_heap_.begin(), merge_heap_.end(), later);
+        while (!merge_heap_.empty()) {
+            std::pop_heap(merge_heap_.begin(), merge_heap_.end(), later);
+            const size_t li = merge_heap_.back();
+            merge_heap_.pop_back();
+            const Reply& r = leaves_[li].outbox[merge_pos_[li]++];
+            HandleReply(r.tag, r.latency);
+            if (merge_pos_[li] < leaves_[li].outbox.size()) {
+                merge_heap_.push_back(li);
+                std::push_heap(merge_heap_.begin(), merge_heap_.end(),
+                               later);
+            }
+        }
+        for (auto& leaf : leaves_) leaf.outbox.clear();
     }
 
     void
@@ -691,8 +755,14 @@ class ClusterSim
     std::vector<Leaf> leaves_;
     std::unique_ptr<Topology> topo_;
     std::unique_ptr<ClusterScheduler> scheduler_;
-    std::vector<int> touched_;    // per-query scratch
-    std::vector<Reply> merged_;   // per-barrier scratch
+    std::vector<int> touched_;  // per-query scratch
+
+    /** Deterministic leaf → pool-task mapping for the barrier fan-out. */
+    LeafBatching batching_;
+    std::vector<uint64_t> batch_work_;   // per-barrier scratch
+    std::vector<size_t> batch_order_;    // per-barrier scratch
+    std::vector<size_t> merge_heap_;     // outbox k-way merge scratch
+    std::vector<size_t> merge_pos_;      // per-leaf outbox cursors
 
     std::vector<chaos::TimedFault> cluster_faults_;
     std::vector<FrozenExport> frozen_;  // aligned with cluster_faults_
@@ -744,13 +814,27 @@ ClusterExperiment::ResolveSpecs()
     return specs_;
 }
 
+runner::Pool*
+ClusterExperiment::SharedPool()
+{
+    if (cfg_.pool != nullptr) return cfg_.pool;
+    if (pool_ == nullptr && cfg_.jobs > 1 && ResolveSpecs().size() > 1) {
+        pool_ = std::make_unique<runner::Pool>(std::min(
+            cfg_.jobs, static_cast<int>(ResolveSpecs().size())));
+    }
+    return pool_.get();
+}
+
 sim::Duration
 ClusterExperiment::MeasureTarget()
 {
     if (target_ > 0) return target_;
     const std::vector<LeafSpec>& specs = ResolveSpecs();
     sim::ConstantTrace trace(cfg_.target_load);
-    ClusterSim sim(cfg_, specs, trace, /*colocate=*/false, /*target=*/0);
+    ClusterConfig run_cfg = cfg_;
+    run_cfg.pool = SharedPool();
+    ClusterSim sim(run_cfg, specs, trace, /*colocate=*/false,
+                   /*target=*/0);
     sim.Run(cfg_.target_run, cfg_.run_warmup);
     // The worst mu/30s window at the defining load is the SLO target,
     // with a small confidence margin: the defining run observes only a
@@ -822,7 +906,9 @@ ClusterExperiment::Run()
     for (size_t i = 0; i < run_specs.size(); ++i) {
         run_specs[i].lc.slo_latency = leaf_targets_[i];
     }
-    ClusterSim sim(cfg_, run_specs, *trace, cfg_.colocate, target_,
+    ClusterConfig run_cfg = cfg_;
+    run_cfg.pool = SharedPool();
+    ClusterSim sim(run_cfg, run_specs, *trace, cfg_.colocate, target_,
                    cfg_.faults.empty() ? nullptr : &cfg_.faults,
                    cfg_.duration);
     sim.Run(cfg_.duration, cfg_.run_warmup);

@@ -139,6 +139,29 @@ struct ClusterConfig {
      * concurrency).
      */
     int jobs = runner::DefaultJobs();
+
+    /**
+     * Leaves per epoch-engine task: each barrier fans the leaves out in
+     * contiguous batches of this size, cutting the per-barrier dispatch
+     * overhead (submit/wake/notify per task) that dominates at thousands
+     * of leaves. The mapping depends only on the leaf count and this
+     * value — never on `jobs` — so results are identical for every
+     * batch size. 0 = auto (8 once the cluster has >= 64 leaves, else
+     * unbatched); 1 = one task per leaf.
+     */
+    int leaf_batch = 0;
+
+    /**
+     * Shared worker pool (not owned). When set, the run's assembly work
+     * and the epoch engine submit here instead of spawning their own
+     * pool — a sweep that runs many configurations reuses one set of
+     * threads instead of paying a pool spawn per run. The pool must not
+     * receive work from two runs concurrently (ParallelFor waits for the
+     * whole pool); RunScenarios-style outer fan-outs need one pool per
+     * worker, or none. nullptr = the run manages its own pool from
+     * `jobs`.
+     */
+    runner::Pool* pool = nullptr;
 };
 
 /** Results of a cluster run. */
@@ -211,7 +234,16 @@ class ClusterExperiment
     /** The resolved leaf blueprint vector (synthesized when empty). */
     const std::vector<LeafSpec>& ResolveSpecs();
 
+    /**
+     * The pool every run of this experiment shares: the caller's
+     * cfg.pool when set, else one lazily spawned from cfg.jobs — so
+     * MeasureTarget and Run (and a caller's repeat runs) pay one thread
+     * spawn total, not one per run.
+     */
+    runner::Pool* SharedPool();
+
     ClusterConfig cfg_;
+    std::unique_ptr<runner::Pool> pool_;
     std::vector<LeafSpec> specs_;
     sim::Duration target_ = 0;
     sim::Duration leaf_target_ = 0;

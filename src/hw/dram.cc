@@ -26,7 +26,20 @@ DramOutcome
 ResolveDram(const MachineConfig& cfg, const std::vector<double>& demand_gbps)
 {
     DramOutcome out;
-    out.granted_gbps.resize(demand_gbps.size(), 0.0);
+    ResolveDram(cfg, demand_gbps, &out);
+    return out;
+}
+
+void
+ResolveDram(const MachineConfig& cfg, const std::vector<double>& demand_gbps,
+            DramOutcome* out_buf)
+{
+    DramOutcome& out = *out_buf;
+    out.granted_gbps.assign(demand_gbps.size(), 0.0);
+    out.total_demand_gbps = 0.0;
+    out.total_granted_gbps = 0.0;
+    out.rho = 0.0;
+    out.stretch = 1.0;
     for (double d : demand_gbps) out.total_demand_gbps += d;
 
     const double peak = cfg.dram_gbps_per_socket;
@@ -42,7 +55,6 @@ ResolveDram(const MachineConfig& cfg, const std::vector<double>& demand_gbps)
         out.granted_gbps[i] = demand_gbps[i] * scale;
         out.total_granted_gbps += out.granted_gbps[i];
     }
-    return out;
 }
 
 }  // namespace heracles::hw

@@ -39,6 +39,14 @@ double DramStretch(const MachineConfig& cfg, double rho);
 DramOutcome ResolveDram(const MachineConfig& cfg,
                         const std::vector<double>& demand_gbps);
 
+/**
+ * Buffer-reusing form for per-epoch callers: @p out is fully reset and
+ * overwritten, reusing its grant vector's capacity. Results are identical
+ * to the returning form.
+ */
+void ResolveDram(const MachineConfig& cfg,
+                 const std::vector<double>& demand_gbps, DramOutcome* out);
+
 }  // namespace heracles::hw
 
 #endif  // HERACLES_HW_DRAM_H

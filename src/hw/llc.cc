@@ -9,7 +9,17 @@ namespace heracles::hw {
 std::vector<double>
 ResolveLlc(const MachineConfig& cfg, const std::vector<LlcRequest>& reqs)
 {
-    std::vector<double> out(reqs.size(), 0.0);
+    std::vector<double> out;
+    ResolveLlc(cfg, reqs, &out);
+    return out;
+}
+
+void
+ResolveLlc(const MachineConfig& cfg, const std::vector<LlcRequest>& reqs,
+           std::vector<double>* out_buf)
+{
+    std::vector<double>& out = *out_buf;
+    out.assign(reqs.size(), 0.0);
     const double mb_per_way = cfg.MbPerWay();
 
     // Pass 1: hard CAT partitions.
@@ -41,7 +51,7 @@ ResolveLlc(const MachineConfig& cfg, const std::vector<LlcRequest>& reqs)
                 out[i] = std::min(reqs[i].footprint_mb, shared_cap);
             }
         }
-        return out;
+        return;
     }
 
     // Oversubscribed: iteratively hand out pressure-proportional shares.
@@ -78,7 +88,6 @@ ResolveLlc(const MachineConfig& cfg, const std::vector<LlcRequest>& reqs)
             out[i] = std::min(out[i], r.footprint_mb);
         }
     }
-    return out;
 }
 
 }  // namespace heracles::hw

@@ -36,6 +36,15 @@ struct LlcRequest {
 std::vector<double> ResolveLlc(const MachineConfig& cfg,
                                const std::vector<LlcRequest>& reqs);
 
+/**
+ * Buffer-reusing form for per-epoch callers: @p out is resized and
+ * overwritten (its capacity survives across resolves, so the hot path
+ * allocates nothing in steady state). Results are identical to the
+ * returning form.
+ */
+void ResolveLlc(const MachineConfig& cfg, const std::vector<LlcRequest>& reqs,
+                std::vector<double>* out);
+
 }  // namespace heracles::hw
 
 #endif  // HERACLES_HW_LLC_H

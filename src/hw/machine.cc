@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "hw/dram.h"
 #include "hw/llc.h"
@@ -23,31 +24,36 @@ Machine::Machine(const MachineConfig& cfg, sim::EventQueue& queue)
     HERACLES_CHECK_MSG(cfg.LogicalCpus() <= kMaxCpus,
                        "too many cpus: " << cfg.LogicalCpus());
     epoch_event_ = queue_.SchedulePeriodic(cfg.epoch, cfg.epoch,
-                                           [this] { ResolveNow(); });
+                                           [this] { EpochResolve(); });
 }
 
 Machine::~Machine()
 {
     queue_.Cancel(epoch_event_);
+    if (finalize_scheduled_) queue_.Cancel(finalize_event_);
 }
 
 void
 Machine::AddClient(ResourceClient* client)
 {
+    EnsureResolved();
     HERACLES_CHECK(client != nullptr);
     for (const auto& [other, st] : clients_) {
         HERACLES_CHECK_MSG(other != client,
                            "client registered twice: " << client->name());
     }
     clients_.emplace_back(client, ClientState{});
+    demand_dirty_ = true;
 }
 
 void
 Machine::RemoveClient(ResourceClient* client)
 {
+    EnsureResolved();
     for (auto it = clients_.begin(); it != clients_.end(); ++it) {
         if (it->first == client) {
             clients_.erase(it);
+            demand_dirty_ = true;
             return;
         }
     }
@@ -74,6 +80,9 @@ Machine::StateOf(const ResourceClient* client) const
 void
 Machine::AssignCpus(ResourceClient* client, const CpuSet& cpus)
 {
+    // Flush before mutating: a resolve requested earlier this instant
+    // must still see the pre-change assignment.
+    EnsureResolved();
     for (int cpu : cpus.Cpus()) {
         HERACLES_CHECK_MSG(cpu < cfg_.LogicalCpus(),
                            "cpu " << cpu << " out of range");
@@ -88,6 +97,7 @@ Machine::AssignCpus(ResourceClient* client, const CpuSet& cpus)
         }
     }
     StateOf(client).cpus = cpus;
+    demand_dirty_ = true;
 }
 
 const CpuSet&
@@ -99,9 +109,11 @@ Machine::CpusOf(const ResourceClient* client) const
 void
 Machine::SetCatWays(ResourceClient* client, int ways)
 {
+    EnsureResolved();
     HERACLES_CHECK_MSG(ways >= 0 && ways <= cfg_.llc_ways,
                        "bad CAT ways: " << ways);
     StateOf(client).cat_ways = ways;
+    demand_dirty_ = true;
 }
 
 int
@@ -113,10 +125,13 @@ Machine::CatWaysOf(const ResourceClient* client) const
 void
 Machine::SetFreqCapGhz(ResourceClient* client, double ghz)
 {
+    EnsureResolved();
     HERACLES_CHECK_MSG(ghz == 0.0 ||
                            (ghz >= cfg_.min_ghz && ghz <= cfg_.turbo_1c_ghz),
                        "bad DVFS cap: " << ghz);
     StateOf(client).freq_cap_ghz = ghz;
+    // The power phase runs on every resolve, so a cap change needs no
+    // demand-dirty mark.
 }
 
 double
@@ -126,21 +141,126 @@ Machine::FreqCapOf(const ResourceClient* client) const
 }
 
 void
+Machine::SetBeNetCeilGbps(double gbps)
+{
+    EnsureResolved();
+    be_net_ceil_gbps_ = gbps;
+    demand_dirty_ = true;
+}
+
+void
 Machine::ResolveNow()
 {
-    ResolveLlcAndDram();
+    if (resolve_pending_) {
+        resolve_pending_ = false;
+        TouchAllBusy();
+    }
+    // Unconditional: callers of this entry point (tests, benches,
+    // characterization rigs) may have mutated client demand without going
+    // through a marked channel.
+    demand_dirty_ = true;
+    DoResolve();
+}
+
+void
+Machine::RequestResolve()
+{
+    if (naive_) {
+        ResolveNow();
+        return;
+    }
+    if (resolve_pending_) {
+        // A resolve is already owed at this instant; the eager resolve
+        // this request would have run is superseded, but its busy-window
+        // resets must still happen at this position.
+        TouchAllBusy();
+        return;
+    }
+    resolve_pending_ = true;
+    if (!finalize_scheduled_) {
+        // Backstop so a pending resolve can never survive past the
+        // current instant: if nothing observes the machine first, this
+        // event (still at time-now) finalizes the resolve.
+        finalize_scheduled_ = true;
+        finalize_event_ = queue_.ScheduleAt(queue_.Now(), [this] {
+            finalize_scheduled_ = false;
+            if (resolve_pending_) {
+                resolve_pending_ = false;
+                DoResolve();
+            }
+        });
+    }
+}
+
+void
+Machine::EnsureResolved() const
+{
+    if (!resolve_pending_) return;
+    auto* self = const_cast<Machine*>(this);
+    self->resolve_pending_ = false;
+    self->DoResolve();
+}
+
+void
+Machine::SetNaiveArbitration(bool naive)
+{
+    EnsureResolved();
+    naive_ = naive;
+    demand_dirty_ = true;
+}
+
+void
+Machine::EpochResolve()
+{
+    if (resolve_pending_) {
+        resolve_pending_ = false;
+        TouchAllBusy();
+    }
+    DoResolve();
+}
+
+void
+Machine::TouchAllBusy()
+{
+    for (auto& [client, st] : clients_) {
+        (void)client->CpuBusyFraction();
+    }
+}
+
+void
+Machine::DoResolve()
+{
+    // The demand phases (LLC occupancy, DRAM grants, NIC shares) are pure
+    // functions of inputs that only change through marked channels; the
+    // busy-driven phases (HT, power, telemetry) must run every resolve,
+    // both for freshness and because their busy queries reset each
+    // client's measurement window.
+    const bool recompute = demand_dirty_ || naive_;
+    demand_dirty_ = false;
+    if (recompute) {
+        ResolveLlcAndDram();
+        ++demand_recomputes_;
+    }
+    ResolveHt();
     ResolvePowerAllSockets();
-    ResolveNetwork();
+    if (recompute) ResolveNetwork();
     UpdateTelemetry();
+    ++resolve_count_;
 }
 
 void
 Machine::ResolveLlcAndDram()
 {
-    // Start every resolution from a clean view; later phases fill in the
-    // power and network fields.
+    // Reset only the fields this phase owns. The HT phase assigns every
+    // client's ht_penalty, the power phase re-zeroes freq_ghz, and the
+    // network phase overwrites every net field whenever it reruns — so
+    // skipping a phase leaves exactly the values it would recompute.
     for (auto& [c, st] : clients_) {
-        st.view = TaskView{};
+        std::fill(std::begin(st.view.llc_mb), std::end(st.view.llc_mb), 0.0);
+        std::fill(std::begin(st.view.dram_demand_gbps),
+                  std::end(st.view.dram_demand_gbps), 0.0);
+        std::fill(std::begin(st.view.dram_granted_gbps),
+                  std::end(st.view.dram_granted_gbps), 0.0);
         st.view.dram_stretch = 0.0;  // accumulated per socket below
     }
 
@@ -149,9 +269,12 @@ Machine::ResolveLlcAndDram()
     // in that container.
     for (int socket = 0; socket < cfg_.sockets; ++socket) {
         // Which clients have cpus here, and with what share of their cpus.
-        std::vector<LlcRequest> reqs;
-        std::vector<size_t> idx;           // into `clients_`
-        std::vector<double> socket_frac;   // client's cpus on this socket
+        std::vector<LlcRequest>& reqs = scratch_reqs_;
+        std::vector<size_t>& idx = scratch_idx_;          // into `clients_`
+        std::vector<double>& socket_frac = scratch_frac_; // cpus share here
+        reqs.clear();
+        idx.clear();
+        socket_frac.clear();
         for (size_t i = 0; i < clients_.size(); ++i) {
             auto& [client, st] = clients_[i];
             if (st.cpus.Empty()) continue;
@@ -167,15 +290,18 @@ Machine::ResolveLlcAndDram()
                                   st.cpus.Count());
         }
 
-        const std::vector<double> llc = ResolveLlc(cfg_, reqs);
+        ResolveLlc(cfg_, reqs, &scratch_llc_);
+        const std::vector<double>& llc = scratch_llc_;
 
         // DRAM demand given the resolved cache shares.
-        std::vector<double> demand(reqs.size(), 0.0);
+        std::vector<double>& demand = scratch_demand_;
+        demand.assign(reqs.size(), 0.0);
         for (size_t k = 0; k < reqs.size(); ++k) {
             demand[k] =
                 clients_[idx[k]].first->DramDemandGbps(socket, llc[k]);
         }
-        const DramOutcome dram = ResolveDram(cfg_, demand);
+        ResolveDram(cfg_, demand, &scratch_dram_);
+        const DramOutcome& dram = scratch_dram_;
         dram_granted_[socket] = dram.total_granted_gbps;
 
         for (size_t k = 0; k < reqs.size(); ++k) {
@@ -201,41 +327,68 @@ Machine::ResolveLlcAndDram()
     for (auto& [c, st] : clients_) {
         if (st.view.dram_stretch < 1.0) st.view.dram_stretch = 1.0;
     }
+}
 
+void
+Machine::ResolveHt()
+{
     // HyperThread penalties: what runs on the sibling of each cpu.
+    const size_t n = clients_.size();
+    ht_aggr_.resize(n);
+    ht_busy_.assign(n, 0.0);
+    for (size_t o = 0; o < n; ++o) {
+        ht_aggr_[o] = clients_[o].first->HtAggression() - 1.0;
+    }
     for (auto& [client, st] : clients_) {
-        if (st.cpus.Empty()) continue;
+        if (st.cpus.Empty()) {
+            st.view.ht_penalty = 1.0;
+            continue;
+        }
         double total = 0.0;
-        int n = 0;
+        int n_cpus = 0;
         for (int cpu : st.cpus.Cpus()) {
             double p = 1.0;
             const int sib = topo_.SiblingOf(cpu);
-            for (auto& [other, ost] : clients_) {
+            for (size_t o = 0; o < n; ++o) {
+                auto& [other, ost] = clients_[o];
                 if (other == client) continue;
-                const double aggr = other->HtAggression() - 1.0;
-                if (aggr <= 0.0) continue;
-                const double busy = other->CpuBusyFraction();
+                if (ht_aggr_[o] <= 0.0) continue;
+                // Same-instant busy queries are stable from the second
+                // one on (the first resets the client's measurement
+                // window, the second reads the post-reset instantaneous
+                // level, and nothing can change busy counts inside a
+                // resolve) — so cpus past the second reuse the second
+                // query's value, the exact number a per-cpu query would
+                // return.
+                const double busy =
+                    n_cpus < 2 ? (ht_busy_[o] = other->CpuBusyFraction())
+                               : ht_busy_[o];
                 if (sib >= 0 && ost.cpus.Contains(sib)) {
-                    p += aggr * busy;
+                    p += ht_aggr_[o] * busy;
                 }
                 if (ost.cpus.Contains(cpu)) {
                     // Sharing the same logical cpu (OS-only baseline) is
                     // considerably worse than sharing a sibling.
-                    p += 1.6 * aggr * busy;
+                    p += 1.6 * ht_aggr_[o] * busy;
                 }
             }
             total += p;
-            ++n;
+            ++n_cpus;
         }
-        st.view.ht_penalty = n > 0 ? total / n : 1.0;
+        st.view.ht_penalty = n_cpus > 0 ? total / n_cpus : 1.0;
     }
 }
 
 void
 Machine::ResolvePowerAllSockets()
 {
+    // This phase owns view.freq_ghz: zero it, accumulate the per-socket
+    // weighted means, then apply the floor.
+    for (auto& [c, st] : clients_) st.view.freq_ghz = 0.0;
+
     for (int socket = 0; socket < cfg_.sockets; ++socket) {
-        std::vector<CorePowerRequest> cores(cfg_.cores_per_socket);
+        std::vector<CorePowerRequest>& cores = scratch_cores_;
+        cores.assign(cfg_.cores_per_socket, CorePowerRequest{});
         // Fill per-core busy/intensity/caps from thread ownership.
         for (auto& [client, st] : clients_) {
             if (st.cpus.Empty()) continue;
@@ -263,7 +416,8 @@ Machine::ResolvePowerAllSockets()
                 }
             }
         }
-        const PowerOutcome pw = ResolvePower(cfg_, cores);
+        ResolvePower(cfg_, cores, &power_scratch_, &scratch_power_);
+        const PowerOutcome& pw = scratch_power_;
         socket_power_[socket] = pw.socket_power_w;
 
         // Publish mean frequency per client on this socket.
@@ -278,8 +432,8 @@ Machine::ResolvePowerAllSockets()
                 f += pw.freq_ghz[core_local];
                 ++n;
             }
-            // Weighted across sockets by cpu count. The view was zeroed
-            // at the start of the resolution pass.
+            // Weighted across sockets by cpu count. The view's frequency
+            // was zeroed at the start of this phase.
             const double frac =
                 static_cast<double>(n) / st.cpus.Count();
             st.view.freq_ghz += frac * (f / n);
@@ -355,12 +509,14 @@ Machine::UpdateTelemetry()
 const TaskView&
 Machine::ViewOf(const ResourceClient* client) const
 {
+    EnsureResolved();
     return StateOf(client).view;
 }
 
 double
 Machine::MeasuredDramGbps(int socket) const
 {
+    EnsureResolved();
     HERACLES_CHECK(socket >= 0 && socket < cfg_.sockets);
     const double noise =
         1.0 + noise_rng_.Uniform(-cfg_.counter_noise, cfg_.counter_noise);
@@ -378,6 +534,7 @@ Machine::MeasuredTotalDramGbps() const
 double
 Machine::MeasuredSocketPowerW(int socket) const
 {
+    EnsureResolved();
     HERACLES_CHECK(socket >= 0 && socket < cfg_.sockets);
     const double noise =
         1.0 + noise_rng_.Uniform(-cfg_.counter_noise, cfg_.counter_noise);
@@ -387,12 +544,28 @@ Machine::MeasuredSocketPowerW(int socket) const
 double
 Machine::MeasuredFreqGhz(const ResourceClient* client) const
 {
+    EnsureResolved();
     return StateOf(client).view.freq_ghz;
+}
+
+double
+Machine::LcTxGbps() const
+{
+    EnsureResolved();
+    return lc_tx_gbps_;
+}
+
+double
+Machine::BeTxGbps() const
+{
+    EnsureResolved();
+    return be_tx_gbps_;
 }
 
 MachineTelemetry
 Machine::Telemetry() const
 {
+    EnsureResolved();
     MachineTelemetry t;
     for (int s = 0; s < cfg_.sockets; ++s) {
         t.dram_gbps += dram_granted_[s];
@@ -410,6 +583,7 @@ Machine::Telemetry() const
 MachineTelemetry
 Machine::AveragedTelemetry() const
 {
+    EnsureResolved();
     const sim::SimTime now = queue_.Now();
     MachineTelemetry t;
     t.dram_gbps = avg_dram_.Mean(now);
@@ -426,6 +600,7 @@ Machine::AveragedTelemetry() const
 void
 Machine::ResetTelemetryAverages()
 {
+    EnsureResolved();
     const sim::SimTime now = queue_.Now();
     avg_dram_ = sim::TimeWeightedMean();
     avg_power_ = sim::TimeWeightedMean();

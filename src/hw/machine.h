@@ -16,10 +16,25 @@
  * sampling request service times or accruing batch throughput; the
  * platform layer exposes the counters (DRAM bandwidth, RAPL power, core
  * frequency, link bytes) that the Heracles controller polls.
+ *
+ * Resolution is incremental. The demand side of a resolve (LLC occupancy,
+ * DRAM grants, NIC shares) is a pure function of inputs that change only
+ * at discrete, known call sites — the mutators here plus the workloads'
+ * once-per-second rate updates — so those phases recompute only when a
+ * demand input was marked dirty, while the busy-driven phases (HT
+ * penalties, power/frequency, telemetry) run every resolve. Actuators
+ * that used to force an eager full resolve per call instead use
+ * RequestResolve(), which coalesces every same-timestamp demand change
+ * into one deferred resolve at the current instant; EnsureResolved()
+ * flushes the pending resolve at every observation point so nothing can
+ * read a stale view. Both paths are byte-identical to the historical
+ * eager full-scan resolver (pinned by tests/machine_equivalence_test.cc
+ * and the golden scenario baselines).
  */
 #ifndef HERACLES_HW_MACHINE_H
 #define HERACLES_HW_MACHINE_H
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +42,9 @@
 #include "hw/client.h"
 #include "hw/config.h"
 #include "hw/cpuset.h"
+#include "hw/dram.h"
+#include "hw/llc.h"
+#include "hw/power.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/stats.h"
@@ -97,16 +115,74 @@ class Machine
     double FreqCapOf(const ResourceClient* client) const;
 
     /** Sets the HTB ceil for all best-effort egress traffic; <0 = off. */
-    void SetBeNetCeilGbps(double gbps) { be_net_ceil_gbps_ = gbps; }
+    void SetBeNetCeilGbps(double gbps);
     double BeNetCeilGbps() const { return be_net_ceil_gbps_; }
 
     // --- Contention resolution ---------------------------------------------
 
-    /** Re-resolves contention immediately (also runs every epoch). */
+    /**
+     * Re-resolves contention immediately, unconditionally recomputing
+     * every phase (also marks the demand inputs dirty first, so callers
+     * that mutate client demand out-of-band — tests, characterization
+     * rigs — always see fresh grants). The epoch timer uses the
+     * dirty-honoring internal path instead.
+     */
     void ResolveNow();
+
+    /**
+     * Requests a resolve for a demand change at the current instant.
+     * Multiple requests at the same timestamp coalesce into one deferred
+     * resolve (scheduled at time-now); each superseded eager resolve is
+     * replaced by a busy-probe pass that reproduces its only lasting
+     * side effect — resetting every client's busy-measurement window —
+     * so the eventual resolve computes bit-identical grants.
+     */
+    void RequestResolve();
+
+    /**
+     * Flushes a pending (deferred) resolve, if any. Every view/counter
+     * reader calls this; workloads also call it before mutating state a
+     * pending resolve must still observe pre-mutation (busy counts,
+     * demand inputs).
+     */
+    void EnsureResolved() const;
+
+    /**
+     * Marks the demand-side resolver inputs (LLC footprints/weights,
+     * DRAM demand, NIC demand) changed, so the next resolve recomputes
+     * the LLC/DRAM/NIC phases. Workloads call this from the call sites
+     * where those inputs actually change; marking is idempotent and
+     * over-marking is always safe (a recompute from unchanged inputs is
+     * bitwise identical).
+     */
+    void MarkDemandDirty() { demand_dirty_ = true; }
+
+    /**
+     * Disables every incremental path: RequestResolve() becomes an eager
+     * ResolveNow() and each resolve recomputes all phases. The retained
+     * naive reference for the equivalence test and the arbitration
+     * microbench.
+     */
+    void SetNaiveArbitration(bool naive);
 
     /** The latest resolved view for @p client. */
     const TaskView& ViewOf(const ResourceClient* client) const;
+
+    // --- Resolver statistics (microbench / diagnostics) --------------------
+
+    /** Resolves executed (all phases of a lazy resolve count as one). */
+    uint64_t resolves() const { return resolve_count_; }
+
+    /** Resolves that recomputed the demand phases (LLC/DRAM/NIC). */
+    uint64_t demand_recomputes() const { return demand_recomputes_; }
+
+    /**
+     * Monotone generation of the demand-phase outputs: bumps exactly
+     * when the LLC/DRAM/NIC grants were recomputed. Workloads key their
+     * derived-input caches on this (plus their own load/allocation
+     * versions) — see LcApp's service-time factor cache.
+     */
+    uint64_t demand_generation() const { return demand_recomputes_; }
 
     // --- Hardware counters (what a controller can measure) ----------------
 
@@ -124,8 +200,8 @@ class Machine
     double MeasuredFreqGhz(const ResourceClient* client) const;
 
     /** Egress bandwidth of the LC / BE traffic classes (Gb/s). */
-    double LcTxGbps() const { return lc_tx_gbps_; }
-    double BeTxGbps() const { return be_tx_gbps_; }
+    double LcTxGbps() const;
+    double BeTxGbps() const;
 
     /** Noise-free machine-wide telemetry (for reports, not controllers). */
     MachineTelemetry Telemetry() const;
@@ -142,7 +218,22 @@ class Machine
         TaskView view;
     };
 
+    /** The epoch timer's resolve: honors demand-dirty tracking. */
+    void EpochResolve();
+    /** One full resolve pass (demand phases gated on the dirty flag). */
+    void DoResolve();
+    /**
+     * Queries every client's CpuBusyFraction once, in registration
+     * order, discarding the values. A busy query's only lasting state
+     * effect is resetting that client's measurement window at the
+     * current tick (repeat same-tick queries are stateless), and a full
+     * resolve queries every client at least once — so one probe pass is
+     * state-equivalent to the eager resolve it replaces.
+     */
+    void TouchAllBusy();
+
     void ResolveLlcAndDram();
+    void ResolveHt();
     void ResolvePowerAllSockets();
     void ResolveNetwork();
     void UpdateTelemetry();
@@ -154,6 +245,8 @@ class Machine
     sim::EventQueue& queue_;
     mutable sim::Rng noise_rng_;
     sim::EventQueue::EventId epoch_event_;
+    sim::EventQueue::EventId finalize_event_{};
+    bool finalize_scheduled_ = false;
 
     /**
      * Registered tasks in registration order. Deliberately NOT keyed by
@@ -165,6 +258,27 @@ class Machine
     std::vector<std::pair<ResourceClient*, ClientState>> clients_;
     bool allow_sharing_ = false;
     double be_net_ceil_gbps_ = -1.0;
+
+    // Incremental-resolution state.
+    bool naive_ = false;
+    bool demand_dirty_ = true;
+    bool resolve_pending_ = false;
+    uint64_t resolve_count_ = 0;
+    uint64_t demand_recomputes_ = 0;
+
+    // Resolver scratch, reused across resolves (the historical code
+    // allocated these per socket per resolve).
+    std::vector<LlcRequest> scratch_reqs_;
+    std::vector<size_t> scratch_idx_;
+    std::vector<double> scratch_frac_;
+    std::vector<double> scratch_demand_;
+    std::vector<double> scratch_llc_;
+    DramOutcome scratch_dram_;
+    std::vector<CorePowerRequest> scratch_cores_;
+    PowerOutcome scratch_power_;
+    PowerScratch power_scratch_;
+    std::vector<double> ht_aggr_;  ///< Per-client aggression minus one.
+    std::vector<double> ht_busy_;  ///< Per-client hoisted busy values.
 
     // Resolved machine-level state.
     std::vector<double> dram_granted_;  ///< Per socket.

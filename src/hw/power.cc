@@ -6,10 +6,30 @@
 namespace heracles::hw {
 namespace {
 
+/**
+ * f^dyn_exp with optional memoization. Candidate frequencies are already
+ * quantized to the DVFS grid by the caller, so the memo stays tiny and a
+ * linear scan beats any map. An exact-key hit returns the exact double
+ * std::pow produced, keeping memoized runs bit-identical.
+ */
+double
+PowDyn(const MachineConfig& cfg, double f_ghz, PowerScratch* scratch)
+{
+    if (scratch) {
+        for (const auto& [f, v] : scratch->pow_f) {
+            if (f == f_ghz) return v;
+        }
+    }
+    const double v = std::pow(f_ghz, cfg.dyn_exp);
+    if (scratch) scratch->pow_f.emplace_back(f_ghz, v);
+    return v;
+}
+
 /** Socket power with frequencies scaled by @p lambda. */
 double
 PowerAt(const MachineConfig& cfg, const std::vector<CorePowerRequest>& cores,
-        double turbo, double lambda, std::vector<double>* freqs)
+        double turbo, double lambda, std::vector<double>* freqs,
+        PowerScratch* scratch)
 {
     double total = cfg.uncore_w;
     for (size_t i = 0; i < cores.size(); ++i) {
@@ -21,8 +41,9 @@ PowerAt(const MachineConfig& cfg, const std::vector<CorePowerRequest>& cores,
         f = std::floor(f / cfg.dvfs_step_ghz) * cfg.dvfs_step_ghz;
         f = std::max(f, cfg.min_ghz);
         if (freqs) (*freqs)[i] = f;
-        total += cfg.core_idle_w +
-                 c.busy * CoreDynPowerW(cfg, f, c.intensity);
+        const double dyn =
+            cfg.dyn_coeff_w * c.intensity * PowDyn(cfg, f, scratch);
+        total += cfg.core_idle_w + c.busy * dyn;
     }
     return total;
 }
@@ -49,7 +70,19 @@ ResolvePower(const MachineConfig& cfg,
              const std::vector<CorePowerRequest>& cores)
 {
     PowerOutcome out;
-    out.freq_ghz.resize(cores.size(), cfg.min_ghz);
+    ResolvePower(cfg, cores, nullptr, &out);
+    return out;
+}
+
+void
+ResolvePower(const MachineConfig& cfg,
+             const std::vector<CorePowerRequest>& cores,
+             PowerScratch* scratch, PowerOutcome* out_buf)
+{
+    PowerOutcome& out = *out_buf;
+    out.freq_ghz.assign(cores.size(), cfg.min_ghz);
+    out.socket_power_w = 0.0;
+    out.throttled = false;
 
     int active = 0;
     for (const auto& c : cores) {
@@ -58,9 +91,11 @@ ResolvePower(const MachineConfig& cfg,
     const double turbo = MaxTurboGhz(cfg, active);
 
     // Fast path: full speed fits in TDP.
-    if (PowerAt(cfg, cores, turbo, 1.0, &out.freq_ghz) <= cfg.tdp_w) {
-        out.socket_power_w = PowerAt(cfg, cores, turbo, 1.0, nullptr);
-        return out;
+    const double full = PowerAt(cfg, cores, turbo, 1.0, &out.freq_ghz,
+                                scratch);
+    if (full <= cfg.tdp_w) {
+        out.socket_power_w = full;
+        return;
     }
 
     // Bisect the throttle scale. Power is monotone in lambda. Even at the
@@ -70,14 +105,14 @@ ResolvePower(const MachineConfig& cfg,
     double lo = cfg.min_ghz / turbo, hi = 1.0;
     for (int iter = 0; iter < 40; ++iter) {
         const double mid = 0.5 * (lo + hi);
-        if (PowerAt(cfg, cores, turbo, mid, nullptr) > cfg.tdp_w) {
+        if (PowerAt(cfg, cores, turbo, mid, nullptr, scratch) > cfg.tdp_w) {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    out.socket_power_w = PowerAt(cfg, cores, turbo, lo, &out.freq_ghz);
-    return out;
+    out.socket_power_w = PowerAt(cfg, cores, turbo, lo, &out.freq_ghz,
+                                 scratch);
 }
 
 }  // namespace heracles::hw

@@ -19,6 +19,7 @@
 #ifndef HERACLES_HW_POWER_H
 #define HERACLES_HW_POWER_H
 
+#include <utility>
 #include <vector>
 
 #include "hw/config.h"
@@ -39,6 +40,18 @@ struct PowerOutcome {
     bool throttled = false;  ///< True if TDP limited frequencies.
 };
 
+/**
+ * Reusable solver scratch. Candidate frequencies are quantized to the
+ * DVFS step grid, so only a handful of distinct f^dyn_exp values ever
+ * occur; this memoizes them (keyed by the exact quantized frequency,
+ * making memoized and unmemoized results bit-identical) across
+ * ResolvePower calls. The exponent comes from the config, so a scratch
+ * must not be shared between machines with different `dyn_exp`.
+ */
+struct PowerScratch {
+    std::vector<std::pair<double, double>> pow_f;  ///< (f_ghz, f^dyn_exp).
+};
+
 /** All-core-aware max turbo frequency for @p active_cores busy cores. */
 double MaxTurboGhz(const MachineConfig& cfg, int active_cores);
 
@@ -49,6 +62,15 @@ double CoreDynPowerW(const MachineConfig& cfg, double f_ghz,
 /** Solves per-core frequencies and socket power for one socket. */
 PowerOutcome ResolvePower(const MachineConfig& cfg,
                           const std::vector<CorePowerRequest>& cores);
+
+/**
+ * Buffer-reusing form for per-epoch callers: recycles @p out's frequency
+ * vector and (when @p scratch is non-null) the pow() memo. Identical
+ * results to the returning form.
+ */
+void ResolvePower(const MachineConfig& cfg,
+                  const std::vector<CorePowerRequest>& cores,
+                  PowerScratch* scratch, PowerOutcome* out);
 
 }  // namespace heracles::hw
 

@@ -69,7 +69,8 @@ SimPlatform::SetBeCores(int cores)
     if (be_ == nullptr) be_cores_ = 0;
     ApplyCpusets();
     ApplyCat();
-    machine_.ResolveNow();
+    // Coalesces with any other same-instant actuations into one resolve.
+    machine_.RequestResolve();
 }
 
 void
@@ -81,7 +82,7 @@ SimPlatform::SetBeWays(int ways)
     const int total_ways = machine_.config().llc_ways;
     be_ways_ = std::clamp(ways, 0, total_ways - 4);
     ApplyCat();
-    machine_.ResolveNow();
+    machine_.RequestResolve();
 }
 
 double
@@ -125,7 +126,7 @@ SimPlatform::SetBeFreqCapGhz(double ghz)
     ++actuations_.set_freq_cap;
     if (be_ != nullptr) {
         machine_.SetFreqCapGhz(be_, ghz);
-        machine_.ResolveNow();
+        machine_.RequestResolve();
     }
 }
 

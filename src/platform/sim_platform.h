@@ -67,7 +67,12 @@ class SimPlatform : public Platform
     }
     sim::Duration LcSlo() override { return lc_.params().slo_latency; }
     double LcLoad() override { return lc_.LoadFraction(); }
-    double LcCpuUtilization() override { return lc_.CpuBusyFraction(); }
+    double LcCpuUtilization() override {
+        // The busy query resets the LC app's measurement window, which a
+        // pending machine resolve must observe first.
+        machine_.EnsureResolved();
+        return lc_.CpuBusyFraction();
+    }
 
     double MeasuredDramGbps() override {
         return machine_.MeasuredTotalDramGbps();

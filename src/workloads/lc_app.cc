@@ -15,6 +15,9 @@ LcApp::LcApp(hw::Machine& machine, const LcParams& params, uint64_t seed)
 {
     HERACLES_CHECK(params_.peak_qps > 0 && params_.mean_service > 0);
     HERACLES_CHECK(params_.batch >= 1);
+    // Response wire time is a constant of (params, machine); computing it
+    // per completion was measurable at cluster scale.
+    wire_s_ = params_.resp_bytes * 8.0 / (machine.config().nic_gbps * 1e9);
     machine_.AddClient(this);
     rate_event_ = machine_.queue().SchedulePeriodic(
         sim::Seconds(1), sim::Seconds(1), [this] { UpdateRates(); });
@@ -31,6 +34,7 @@ LcApp::SetCpus(const hw::CpuSet& cpus)
 {
     AccumulateBusy();
     machine_.AssignCpus(this, cpus);
+    ++alloc_version_;  // invalidates the cached service-time factors
     capacity_ = cpus.Count();
     phys_cores_ = machine_.topology().PhysicalCoreCount(cpus);
     TryDispatch();
@@ -135,6 +139,9 @@ LcApp::TryDispatch()
 void
 LcApp::StartService(Request req)
 {
+    // A resolve requested earlier this instant must observe the
+    // pre-dispatch busy count; flush it before mutating.
+    machine_.EnsureResolved();
     AccumulateBusy();
     ++busy_;
     // The scheduler fills idle physical cores before doubling up on
@@ -172,6 +179,8 @@ void
 LcApp::OnCompletion(const Request& req)
 {
     const sim::SimTime arrival = req.arrival;
+    // Flush before the busy count drops (see StartService).
+    machine_.EnsureResolved();
     AccumulateBusy();
     --busy_;
     completions_in_sec_ += static_cast<uint64_t>(params_.batch);
@@ -180,9 +189,7 @@ LcApp::OnCompletion(const Request& req)
     const hw::TaskView& view = machine_.ViewOf(this);
     const sim::SimTime now = machine_.queue().Now();
     // Response transmission: wire time inflated by egress queueing.
-    const double wire_s = params_.resp_bytes * 8.0 /
-                          (machine_.config().nic_gbps * 1e9);
-    sim::Duration net = sim::Seconds(wire_s * view.net_delay_factor);
+    sim::Duration net = sim::Seconds(wire_s_ * view.net_delay_factor);
     if (view.net_drop_prob > 0.0 && rng_.Bernoulli(view.net_drop_prob)) {
         // Lost packet: TCP minimum retransmission timeout.
         net += sim::Millis(200);
@@ -253,23 +260,40 @@ LcApp::SampleServiceTime(bool ht_shared)
 {
     const hw::TaskView& view = machine_.ViewOf(this);
     const hw::MachineConfig& cfg = machine_.config();
-    const auto& topo = machine_.topology();
-    const hw::CpuSet& cpus = machine_.CpusOf(this);
 
-    // Cache factors: cpu-weighted mean over the sockets we occupy.
-    double instr_pen = 1.0, data_miss = 1.0;
-    if (!cpus.Empty()) {
-        instr_pen = 0.0;
-        data_miss = 0.0;
-        for (int s = 0; s < cfg.sockets; ++s) {
-            const int here = topo.OnSocket(cpus, s).Count();
-            if (here == 0) continue;
-            const double w = static_cast<double>(here) / cpus.Count();
-            const auto [ip, dm] = CacheFactors(view.llc_mb[s]);
-            instr_pen += w * ip;
-            data_miss += w * dm;
+    // Cache factors: cpu-weighted mean over the sockets we occupy. A
+    // pure function of the resolved cache shares (machine demand
+    // generation), our cpuset (allocation version) and the smoothed load
+    // (exact ewma value) — all of which change orders of magnitude less
+    // often than requests arrive, so the aggregation is memoized on that
+    // key instead of recomputed per request.
+    const uint64_t gen = machine_.demand_generation();
+    if (!factors_valid_ || factors_gen_ != gen ||
+        factors_alloc_ != alloc_version_ || factors_qps_ != qps_ewma_) {
+        const auto& topo = machine_.topology();
+        const hw::CpuSet& cpus = machine_.CpusOf(this);
+        double ipen = 1.0, dmiss = 1.0;
+        if (!cpus.Empty()) {
+            ipen = 0.0;
+            dmiss = 0.0;
+            for (int s = 0; s < cfg.sockets; ++s) {
+                const int here = topo.OnSocket(cpus, s).Count();
+                if (here == 0) continue;
+                const double w = static_cast<double>(here) / cpus.Count();
+                const auto [ip, dm] = CacheFactors(view.llc_mb[s]);
+                ipen += w * ip;
+                dmiss += w * dm;
+            }
         }
+        factors_instr_pen_ = ipen;
+        factors_data_miss_ = dmiss;
+        factors_gen_ = gen;
+        factors_alloc_ = alloc_version_;
+        factors_qps_ = qps_ewma_;
+        factors_valid_ = true;
     }
+    const double instr_pen = factors_instr_pen_;
+    const double data_miss = factors_data_miss_;
 
     const double base = rng_.LogNormalWithMean(
         static_cast<double>(params_.mean_service), params_.service_sigma);
@@ -292,6 +316,10 @@ LcApp::SampleServiceTime(bool ht_shared)
 void
 LcApp::UpdateRates()
 {
+    // The ewmas feed the machine's demand model (LLC footprint/weight,
+    // DRAM and NIC demand): flush any pending resolve so it sees the old
+    // rates, then mark the demand inputs changed.
+    machine_.EnsureResolved();
     constexpr double kAlpha = 0.3;
     qps_ewma_ = (1.0 - kAlpha) * qps_ewma_ +
                 kAlpha * static_cast<double>(arrivals_in_sec_);
@@ -299,6 +327,7 @@ LcApp::UpdateRates()
                    kAlpha * static_cast<double>(completions_in_sec_);
     arrivals_in_sec_ = 0;
     completions_in_sec_ = 0;
+    machine_.MarkDemandDirty();
 
     const sim::SimTime now = machine_.queue().Now();
     report_tail_.MaybeRoll(now);

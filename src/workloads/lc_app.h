@@ -297,6 +297,22 @@ class LcApp : public hw::ResourceClient
     mutable sim::SimTime busy_last_change_ = 0;
     mutable sim::SimTime busy_last_query_ = 0;
 
+    /** Precomputed response wire seconds (constant per machine+params). */
+    double wire_s_ = 0.0;
+
+    /**
+     * Memoized service-time cache factors (SampleServiceTime): valid
+     * while the machine's demand generation, our cpuset allocation
+     * version and the load ewma are all unchanged.
+     */
+    uint64_t alloc_version_ = 0;
+    bool factors_valid_ = false;
+    uint64_t factors_gen_ = 0;
+    uint64_t factors_alloc_ = 0;
+    double factors_qps_ = 0.0;
+    double factors_instr_pen_ = 1.0;
+    double factors_data_miss_ = 1.0;
+
     // OS-only scheduling-delay injection.
     double sched_delay_prob_ = 0.0;
     sim::Duration sched_delay_lo_ = 0;

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Incremental arbitration vs the naive reference resolver.
+ *
+ * hw::Machine's incremental paths — deferred coalesced resolves, the
+ * demand-dirty gate over the LLC/DRAM/NIC phases, hoisted HyperThread
+ * busy probes, memoized power curves — all claim to be *exact*
+ * equivalence transforms of the historical eager full-scan resolver.
+ * SetNaiveArbitration(true) retains that resolver: every RequestResolve
+ * becomes an eager full recompute and nothing is gated or deferred.
+ *
+ * This suite drives two identical server rigs (machine + LC app + BE
+ * task + platform) through a seeded churn of actuations, demand-scale
+ * phase changes and counter reads — one rig incremental, one naive —
+ * and asserts every published view and measured counter stays bitwise
+ * identical throughout. Any shortcut that changes even the last ULP of
+ * a grant, or perturbs an RNG stream, diverges here within a few
+ * seconds of simulated time.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hw/machine.h"
+#include "platform/sim_platform.h"
+#include "sim/random.h"
+#include "workloads/antagonists.h"
+#include "workloads/be_task.h"
+#include "workloads/lc_app.h"
+#include "workloads/lc_configs.h"
+
+namespace heracles {
+namespace {
+
+/** One self-contained server simulation under churn. */
+struct Rig {
+    sim::EventQueue queue;
+    hw::Machine machine;
+    workloads::LcApp lc;
+    std::unique_ptr<workloads::BeTask> be;
+    platform::SimPlatform plat;
+
+    Rig(bool naive, const hw::MachineConfig& cfg,
+        const workloads::LcParams& lp, const workloads::BeProfile& bp)
+        : machine(cfg, queue),
+          lc(machine, lp, /*seed=*/cfg.seed ^ 0x11),
+          be(std::make_unique<workloads::BeTask>(machine, bp)),
+          plat(machine, lc, be.get())
+    {
+        machine.SetNaiveArbitration(naive);
+        plat.ApplyInitialPlacement();
+        lc.SetLoad(0.6);
+        lc.Start();
+    }
+
+    /** Kills the BE job: releases its allocations, then unregisters it
+     *  (the ~BeTask RemoveClient path — a client-set demand change). */
+    void Detach()
+    {
+        if (be == nullptr) return;
+        plat.SetBeCores(0);
+        plat.AttachBeJob(nullptr);
+        be.reset();
+    }
+
+    /** (Re)starts a BE job from scratch and admits it with @p cores. */
+    void Attach(const workloads::BeProfile& bp, int cores)
+    {
+        if (be != nullptr) return;
+        be = std::make_unique<workloads::BeTask>(machine, bp);
+        plat.AttachBeJob(be.get());
+        plat.SetBeCores(cores);
+    }
+};
+
+/** Asserts every observable of both rigs is bitwise identical. The
+ *  reads themselves are part of the protocol under test (each one
+ *  flushes a pending resolve), so both rigs see the exact same call
+ *  sequence. */
+void
+ExpectIdentical(Rig& a, Rig& b, int step)
+{
+    const hw::MachineConfig& cfg = a.machine.config();
+    ASSERT_EQ(a.be != nullptr, b.be != nullptr) << "step " << step;
+    std::vector<std::pair<const hw::ResourceClient*,
+                          const hw::ResourceClient*>>
+        pairs = {{&a.lc, &b.lc}};
+    if (a.be != nullptr) pairs.push_back({a.be.get(), b.be.get()});
+    for (const auto& [c, d] : pairs) {
+        const hw::TaskView& va = a.machine.ViewOf(c);
+        const hw::TaskView& vb = b.machine.ViewOf(d);
+        for (int s = 0; s < cfg.sockets; ++s) {
+            EXPECT_EQ(va.llc_mb[s], vb.llc_mb[s]) << "step " << step;
+            EXPECT_EQ(va.dram_demand_gbps[s], vb.dram_demand_gbps[s])
+                << "step " << step;
+            EXPECT_EQ(va.dram_granted_gbps[s], vb.dram_granted_gbps[s])
+                << "step " << step;
+        }
+        EXPECT_EQ(va.dram_stretch, vb.dram_stretch) << "step " << step;
+        EXPECT_EQ(va.freq_ghz, vb.freq_ghz) << "step " << step;
+        EXPECT_EQ(va.ht_penalty, vb.ht_penalty) << "step " << step;
+        EXPECT_EQ(va.net_granted_gbps, vb.net_granted_gbps)
+            << "step " << step;
+        EXPECT_EQ(va.net_delay_factor, vb.net_delay_factor)
+            << "step " << step;
+        EXPECT_EQ(va.net_drop_prob, vb.net_drop_prob) << "step " << step;
+        EXPECT_EQ(va.net_overloaded, vb.net_overloaded)
+            << "step " << step;
+    }
+    // Noisy counters consume the machine's noise RNG — identical call
+    // sequences on both rigs keep the streams aligned, so the readings
+    // must match exactly too.
+    for (int s = 0; s < cfg.sockets; ++s) {
+        EXPECT_EQ(a.machine.MeasuredDramGbps(s),
+                  b.machine.MeasuredDramGbps(s))
+            << "step " << step;
+        EXPECT_EQ(a.machine.MeasuredSocketPowerW(s),
+                  b.machine.MeasuredSocketPowerW(s))
+            << "step " << step;
+    }
+    EXPECT_EQ(a.machine.MeasuredFreqGhz(&a.lc),
+              b.machine.MeasuredFreqGhz(&b.lc))
+        << "step " << step;
+    EXPECT_EQ(a.machine.LcTxGbps(), b.machine.LcTxGbps())
+        << "step " << step;
+    EXPECT_EQ(a.machine.BeTxGbps(), b.machine.BeTxGbps())
+        << "step " << step;
+
+    const hw::MachineTelemetry ta = a.machine.Telemetry();
+    const hw::MachineTelemetry tb = b.machine.Telemetry();
+    EXPECT_EQ(ta.dram_gbps, tb.dram_gbps) << "step " << step;
+    EXPECT_EQ(ta.cpu_utilization, tb.cpu_utilization) << "step " << step;
+    EXPECT_EQ(ta.power_w, tb.power_w) << "step " << step;
+    EXPECT_EQ(ta.lc_tx_gbps, tb.lc_tx_gbps) << "step " << step;
+    EXPECT_EQ(ta.be_tx_gbps, tb.be_tx_gbps) << "step " << step;
+    EXPECT_EQ(ta.net_frac, tb.net_frac) << "step " << step;
+
+    // The workloads ride on the views: identical views imply identical
+    // service-time draws, so the request streams must stay in lockstep.
+    EXPECT_EQ(a.lc.TotalArrived(), b.lc.TotalArrived()) << "step " << step;
+    EXPECT_EQ(a.lc.TotalCompleted(), b.lc.TotalCompleted())
+        << "step " << step;
+    EXPECT_EQ(a.lc.CtlTailLatency(), b.lc.CtlTailLatency())
+        << "step " << step;
+    if (a.be != nullptr && b.be != nullptr) {
+        EXPECT_EQ(a.be->AvgRate(), b.be->AvgRate()) << "step " << step;
+    }
+}
+
+TEST(MachineEquivalence, SeededChurnStaysBitIdenticalToNaive)
+{
+    hw::MachineConfig cfg;
+    cfg.seed = 1234;
+    const workloads::LcParams lp = workloads::Websearch();
+    const workloads::BeProfile bp = workloads::Brain();
+
+    Rig inc(/*naive=*/false, cfg, lp, bp);
+    Rig naive(/*naive=*/true, cfg, lp, bp);
+
+    // One decision stream, applied identically to both rigs. The op mix
+    // covers every actuator the controller uses, BE phase changes, the
+    // busy-probing utilization read, and plain time advancement.
+    sim::Rng churn(99);
+    const int total_cores = cfg.TotalCores();
+    const int total_ways = cfg.llc_ways;
+    for (int step = 0; step < 120; ++step) {
+        const int op = static_cast<int>(churn.UniformInt(8));
+        switch (op) {
+        case 0: {
+            const int cores =
+                static_cast<int>(churn.UniformInt(total_cores));
+            inc.plat.SetBeCores(cores);
+            naive.plat.SetBeCores(cores);
+            break;
+        }
+        case 1: {
+            const int ways =
+                static_cast<int>(churn.UniformInt(total_ways));
+            inc.plat.SetBeWays(ways);
+            naive.plat.SetBeWays(ways);
+            break;
+        }
+        case 2: {
+            const double ghz =
+                churn.Uniform(cfg.min_ghz, cfg.turbo_1c_ghz);
+            inc.plat.SetBeFreqCapGhz(ghz);
+            naive.plat.SetBeFreqCapGhz(ghz);
+            break;
+        }
+        case 3: {
+            const double ceil = churn.Bernoulli(0.3)
+                                    ? -1.0
+                                    : churn.Uniform(0.5, cfg.nic_gbps);
+            inc.plat.SetBeNetCeilGbps(ceil);
+            naive.plat.SetBeNetCeilGbps(ceil);
+            break;
+        }
+        case 4: {
+            const double scale = churn.Uniform(0.2, 1.5);
+            if (inc.be != nullptr) {
+                inc.be->SetDemandScale(scale);
+                naive.be->SetDemandScale(scale);
+            }
+            break;
+        }
+        case 5: {
+            // Busy-probing reads between resolves: LcCpuUtilization
+            // resets the LC measurement window, which a pending resolve
+            // must observe first.
+            EXPECT_EQ(inc.plat.LcCpuUtilization(),
+                      naive.plat.LcCpuUtilization())
+                << "step " << step;
+            break;
+        }
+        case 6: {
+            // Same-instant pile-up: several actuations with no time in
+            // between exercises the coalescing path.
+            const int cores =
+                static_cast<int>(churn.UniformInt(total_cores));
+            const int ways =
+                static_cast<int>(churn.UniformInt(total_ways));
+            inc.plat.SetBeCores(cores);
+            inc.plat.SetBeWays(ways);
+            naive.plat.SetBeCores(cores);
+            naive.plat.SetBeWays(ways);
+            break;
+        }
+        default: {
+            // Job churn: unregistering and re-registering a client is
+            // the sharpest demand change (the client set itself moves).
+            if (inc.be != nullptr) {
+                inc.Detach();
+                naive.Detach();
+            } else {
+                const int cores = 1 + static_cast<int>(
+                                      churn.UniformInt(total_cores - 1));
+                inc.Attach(bp, cores);
+                naive.Attach(bp, cores);
+            }
+            break;
+        }
+        }
+        const sim::Duration gap =
+            sim::Millis(1 + static_cast<int>(churn.UniformInt(400)));
+        inc.queue.RunFor(gap);
+        naive.queue.RunFor(gap);
+        if (step % 10 == 9) ExpectIdentical(inc, naive, step);
+    }
+    ExpectIdentical(inc, naive, 120);
+
+    // The incremental rig must actually have been incremental: the
+    // demand phases recompute only when demand inputs changed, while
+    // the naive reference recomputes them on every resolve.
+    EXPECT_LT(inc.machine.demand_recomputes(), inc.machine.resolves());
+    EXPECT_EQ(naive.machine.demand_recomputes(),
+              naive.machine.resolves());
+    EXPECT_GT(inc.machine.resolves(), 0u);
+}
+
+}  // namespace
+}  // namespace heracles

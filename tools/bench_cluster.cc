@@ -28,6 +28,7 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -95,7 +96,17 @@ main(int argc, char** argv)
         if (!std::strcmp(argv[i], "--scenario") && i + 1 < argc) {
             scenario_name = argv[++i];
         } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
-            scale = std::atof(argv[++i]);
+            // Strict parse (the heracles_sim convention): a typo like
+            // "0.2x" or "o.2" must not silently become some other run.
+            const char* v = argv[++i];
+            char* end = nullptr;
+            scale = std::strtod(v, &end);
+            if (end == v || *end != '\0' || scale <= 0.0) {
+                std::fprintf(
+                    stderr,
+                    "--scale wants a positive number, got '%s'\n", v);
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
             jobs = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--leaves") && i + 1 < argc) {

@@ -4,11 +4,16 @@
  *
  * One run produces the whole record (schema in docs/performance.md):
  *  - the full scenario catalog end to end (`--scenario all` semantics) at
- *    --scale on one worker thread, wall-clocked per catalog and checked
- *    for unexpected SLO violations;
+ *    --scale on one worker thread, wall-clocked per catalog (with the
+ *    top-5 slowest scenarios recorded individually) and checked for
+ *    unexpected SLO violations;
  *  - the event-queue microbench on both the pooled production queue and
  *    the embedded legacy (pre-pool) implementation, with allocs/event;
- *  - the streaming-tail stats microbench.
+ *  - the streaming-tail stats microbench;
+ *  - the machine-arbitration microbench: one colocated server under a
+ *    controller-like actuation cadence, run with the incremental
+ *    resolver and with the retained naive full-resolve reference, so
+ *    the record shows events/sec and (full) resolves/event for both.
  *
  * Usage: bench_record [--scale F] [--events N] [--out FILE]
  *   --scale   time scale for the catalog pass (default 1.0 = full phases;
@@ -26,17 +31,126 @@
  * Exit codes: 0 recorded; 1 pooled queue not faster than legacy;
  * 2 usage/IO error.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <numeric>
 #include <string>
+#include <vector>
 
+#include "hw/machine.h"
+#include "platform/sim_platform.h"
 #include "scenarios/registry.h"
 #include "scenarios/runner.h"
+#include "sim/random.h"
 #include "sim_core_bench.h"
+#include "workloads/antagonists.h"
+#include "workloads/be_task.h"
+#include "workloads/lc_app.h"
+#include "workloads/lc_configs.h"
 
 HERACLES_BENCH_DEFINE_ALLOC_COUNTER()
 
 using namespace heracles;
+
+namespace {
+
+/** One machine-arbitration churn measurement. */
+struct ArbRun {
+    double wall_s = 0.0;
+    uint64_t events = 0;      ///< Queue events fired during the run.
+    uint64_t resolves = 0;    ///< Machine::resolves() at the end.
+    uint64_t recomputes = 0;  ///< Machine::demand_recomputes() at the end.
+};
+
+/**
+ * Drives one colocated server (websearch LC + brain BE) through a
+ * seeded controller-like churn of actuations and utilization reads —
+ * the same op mix tests/machine_equivalence_test.cc pins bit-identical
+ * across resolver modes — and reports events/sec plus how many resolves
+ * ran the full LLC/DRAM/NIC demand pipeline. With @p naive the machine
+ * uses the retained eager full-recompute resolver, so the two runs
+ * bracket exactly what incremental arbitration saves.
+ */
+ArbRun
+RunArbitrationChurn(bool naive, int steps)
+{
+    sim::EventQueue queue;
+    hw::MachineConfig cfg;
+    cfg.seed = 20260809;
+    hw::Machine machine(cfg, queue);
+    machine.SetNaiveArbitration(naive);
+    workloads::LcApp lc(machine, workloads::Websearch(), /*seed=*/7);
+    workloads::BeTask be(machine, workloads::Brain());
+    platform::SimPlatform plat(machine, lc, &be);
+    plat.ApplyInitialPlacement();
+    lc.SetLoad(0.7);
+    lc.Start();
+
+    sim::Rng churn(4242);
+    const int total_cores = cfg.TotalCores();
+    const int total_ways = cfg.llc_ways;
+    ArbRun r;
+    r.wall_s = bench::WallSeconds([&] {
+        for (int step = 0; step < steps; ++step) {
+            switch (churn.UniformInt(6)) {
+            case 0:
+                plat.SetBeCores(
+                    static_cast<int>(churn.UniformInt(total_cores)));
+                break;
+            case 1:
+                plat.SetBeWays(
+                    static_cast<int>(churn.UniformInt(total_ways)));
+                break;
+            case 2:
+                plat.SetBeFreqCapGhz(
+                    churn.Uniform(cfg.min_ghz, cfg.turbo_1c_ghz));
+                break;
+            case 3:
+                plat.SetBeNetCeilGbps(
+                    churn.Bernoulli(0.3)
+                        ? -1.0
+                        : churn.Uniform(0.5, cfg.nic_gbps));
+                break;
+            case 4:
+                be.SetDemandScale(churn.Uniform(0.2, 1.5));
+                break;
+            default:
+                (void)plat.LcCpuUtilization();
+                break;
+            }
+            queue.RunFor(
+                sim::Millis(1 + static_cast<int>(churn.UniformInt(400))));
+        }
+    });
+    r.events = queue.executed();
+    r.resolves = machine.resolves();
+    r.recomputes = machine.demand_recomputes();
+    return r;
+}
+
+std::string
+ArbRunJson(const char* key, const ArbRun& r)
+{
+    const double ev = static_cast<double>(r.events);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    \"%s\": {\n"
+        "      \"wall_s\": %.3f,\n"
+        "      \"events\": %llu,\n"
+        "      \"events_per_sec\": %.0f,\n"
+        "      \"resolves_per_event\": %.4f,\n"
+        "      \"full_resolves_per_event\": %.4f\n"
+        "    }",
+        key, r.wall_s, static_cast<unsigned long long>(r.events),
+        ev / (r.wall_s > 0 ? r.wall_s : 1e-9),
+        static_cast<double>(r.resolves) / (ev > 0 ? ev : 1),
+        static_cast<double>(r.recomputes) / (ev > 0 ? ev : 1));
+    return buf;
+}
+
+}  // namespace
 
 int
 main(int argc, char** argv)
@@ -68,9 +182,19 @@ main(int argc, char** argv)
     const auto& specs = scenarios::AllScenarios();
     scenarios::RunOptions opts;
     opts.time_scale = scale;
+    // Serial per-spec loop instead of one RunScenarios() call: identical
+    // results in identical order (RunScenarios at jobs=1 is this loop),
+    // but each scenario gets its own wall clock so the record can name
+    // the slowest ones — the first question anyone asks of a perf diff.
     std::vector<scenarios::ScenarioMetrics> results;
+    results.reserve(specs.size());
+    std::vector<double> scenario_wall(specs.size(), 0.0);
     const double catalog_s = bench::WallSeconds([&] {
-        results = scenarios::RunScenarios(specs, opts, /*jobs=*/1);
+        for (size_t i = 0; i < specs.size(); ++i) {
+            scenario_wall[i] = bench::WallSeconds([&] {
+                results.push_back(scenarios::RunScenario(specs[i], opts));
+            });
+        }
     });
     // Both the count and the offending names go into the record: a
     // reader of the JSON (CI, or a human diffing two baselines) should
@@ -91,6 +215,25 @@ main(int argc, char** argv)
     }
     violating_json += "]";
 
+    // Top-5 slowest scenarios by wall time (all of them if fewer).
+    std::vector<size_t> by_wall(specs.size());
+    std::iota(by_wall.begin(), by_wall.end(), size_t{0});
+    std::stable_sort(by_wall.begin(), by_wall.end(),
+                     [&](size_t a, size_t b) {
+                         return scenario_wall[a] > scenario_wall[b];
+                     });
+    if (by_wall.size() > 5) by_wall.resize(5);
+    std::string slowest_json = "[";
+    for (size_t i = 0; i < by_wall.size(); ++i) {
+        char item[256];
+        std::snprintf(item, sizeof item,
+                      "%s\n      {\"scenario\": \"%s\", \"wall_s\": %.3f}",
+                      i > 0 ? "," : "", specs[by_wall[i]].name.c_str(),
+                      scenario_wall[by_wall[i]]);
+        slowest_json += item;
+    }
+    slowest_json += by_wall.empty() ? "]" : "\n    ]";
+
     // --- Microbenches ----------------------------------------------------
     bench::RunEventQueueChurn<sim::EventQueue>(events / 20);  // warmup
     bench::RunEventQueueChurn<bench::LegacyEventQueue>(events / 20);
@@ -100,7 +243,32 @@ main(int argc, char** argv)
         bench::RunEventQueueChurn<bench::LegacyEventQueue>(events);
     const auto stats = bench::RunStatsStreaming(events);
 
-    char head[1024];
+    // Machine-arbitration microbench: the retained naive resolver first
+    // (it doubles as warmup), then the incremental production path.
+    const int arb_steps = 600;
+    const ArbRun arb_naive = RunArbitrationChurn(/*naive=*/true, arb_steps);
+    const ArbRun arb_inc = RunArbitrationChurn(/*naive=*/false, arb_steps);
+    const std::string arb_json =
+        std::string("  \"machine_arbitration\": {\n") +
+        ArbRunJson("naive", arb_naive) + ",\n" +
+        ArbRunJson("incremental", arb_inc) + ",\n" +
+        [&] {
+            char tail[256];
+            std::snprintf(
+                tail, sizeof tail,
+                "    \"events_per_sec_ratio\": %.2f,\n"
+                "    \"full_resolve_reduction\": %.1f\n"
+                "  }",
+                (static_cast<double>(arb_inc.events) /
+                 (arb_inc.wall_s > 0 ? arb_inc.wall_s : 1e-9)) /
+                    (static_cast<double>(arb_naive.events) /
+                         (arb_naive.wall_s > 0 ? arb_naive.wall_s : 1e-9)),
+                static_cast<double>(arb_naive.recomputes) /
+                    (arb_inc.recomputes > 0 ? arb_inc.recomputes : 1));
+            return std::string(tail);
+        }();
+
+    char head[2048];
     std::snprintf(head, sizeof head,
                   "{\n"
                   "  \"bench\": \"sim_core\",\n"
@@ -110,14 +278,15 @@ main(int argc, char** argv)
                   "    \"jobs\": 1,\n"
                   "    \"wall_s\": %.3f,\n"
                   "    \"unexpected_slo_violations\": %d,\n"
-                  "    \"violating_scenarios\": %s\n"
+                  "    \"violating_scenarios\": %s,\n"
+                  "    \"slowest\": %s\n"
                   "  },\n",
                   results.size(), scale, catalog_s, violations,
-                  violating_json.c_str());
+                  violating_json.c_str(), slowest_json.c_str());
 
     const std::string json = std::string(head) +
                              bench::CoreBenchJson(pooled, legacy, stats) +
-                             "\n}\n";
+                             ",\n" + arb_json + "\n}\n";
 
     std::fputs(json.c_str(), stdout);
     if (FILE* f = std::fopen(out_path.c_str(), "w")) {

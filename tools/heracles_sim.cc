@@ -14,7 +14,7 @@
  *                [--sweep 0.1,0.3,0.5|paper] [--jobs N]
  *                [--list-scenarios] [--scenario NAME|all]
  *                [--scale F] [--json] [--faults SPEC]
- *                [--cluster-jobs N]
+ *                [--cluster-jobs N] [--cluster-leaf-batch N]
  *
  * With --sweep, runs every listed load (or the paper's 5%..95% grid)
  * instead of a single point, fanning the independent load points across
@@ -25,7 +25,10 @@
  * epoch engine fans its leaves across per barrier interval (metrics are
  * bit-identical for every value). Default: hardware concurrency for a
  * single cluster scenario, 1 for --scenario all (where --jobs already
- * parallelizes across scenarios).
+ * parallelizes across scenarios). --cluster-leaf-batch pins how many
+ * leaves the engine steps per worker task (default: automatic — 8 at
+ * 64+ leaves, else 1); like --cluster-jobs it cannot change metrics,
+ * only wall time.
  *
  * Scenario mode composes from the catalog (src/scenarios/registry.cc)
  * instead of the ad-hoc flags: --list-scenarios prints the catalog,
@@ -71,7 +74,7 @@ Usage(const char* argv0)
                  "[--sweep F,F,...|paper] [--jobs N] "
                  "[--list-scenarios] [--scenario NAME|all] "
                  "[--scale F] [--json] [--faults SPEC] "
-                 "[--cluster-jobs N]\n",
+                 "[--cluster-jobs N] [--cluster-leaf-batch N]\n",
                  argv0);
     std::exit(2);
 }
@@ -303,6 +306,8 @@ main(int argc, char** argv)
     int jobs = runner::DefaultJobs();
     int cluster_jobs = 0;
     bool cluster_jobs_given = false;
+    int cluster_leaf_batch = 0;
+    bool cluster_leaf_batch_given = false;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* {
@@ -378,6 +383,19 @@ main(int argc, char** argv)
             }
             cluster_jobs = static_cast<int>(n);
             cluster_jobs_given = true;
+        } else if (!std::strcmp(argv[i], "--cluster-leaf-batch")) {
+            const char* v = next();
+            char* end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "error: --cluster-leaf-batch wants a "
+                             "positive integer, got '%s'\n",
+                             v);
+                return 2;
+            }
+            cluster_leaf_batch = static_cast<int>(n);
+            cluster_leaf_batch_given = true;
         } else if (!std::strcmp(argv[i], "--faults")) {
             faults_spec = next();
             faults_given = true;
@@ -390,10 +408,12 @@ main(int argc, char** argv)
     if (load <= 0.0 || load > 1.0) Usage(argv[0]);
 
     if (scenario_name.empty() &&
-        (scale_given || json || faults_given || cluster_jobs_given)) {
+        (scale_given || json || faults_given || cluster_jobs_given ||
+         cluster_leaf_batch_given)) {
         std::fprintf(stderr,
-                     "--scale/--json/--faults/--cluster-jobs only apply "
-                     "to --scenario runs\n");
+                     "--scale/--json/--faults/--cluster-jobs/"
+                     "--cluster-leaf-batch only apply to --scenario "
+                     "runs\n");
         return 2;
     }
     chaos::FaultPlan faults;
@@ -427,6 +447,7 @@ main(int argc, char** argv)
             cluster_jobs_given
                 ? cluster_jobs
                 : (scenario_name == "all" ? 1 : runner::DefaultJobs());
+        opts.cluster_leaf_batch = cluster_leaf_batch;
         return RunScenarioMode(scenario_name, opts, jobs, json,
                                faults_given ? &faults : nullptr);
     }
