@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "cluster/epoch.h"
+#include "cluster/fingerprint.h"
 #include "exp/server_sim.h"
 #include "heracles/controller.h"
 #include "hw/machine.h"
@@ -228,6 +229,45 @@ class ClusterSim
         if (scheduled) {
             scheduler_ = std::make_unique<ClusterScheduler>(
                 cfg_.scheduler, num_jobs, n);
+            if (cfg_.scheduler.policy == SchedulerPolicy::kPredictive) {
+                // Offline fingerprint table: predicted tail fraction of
+                // every (job, leaf) pair. Fingerprints are cached per
+                // (machine shape, LC workload) process-wide, so this
+                // costs one characterization grid per distinct pair
+                // ever seen, not per scenario. Two static per-leaf
+                // corrections the rig cannot see. First, headroom at
+                // the trace peak: under the shared query stream a leaf
+                // whose LC has a lower peak rate runs hotter relative
+                // to its own capacity, and interference impact grows
+                // like queueing delay — convex in utilization — so the
+                // prediction scales by 1/(1 - rho) at the worst point
+                // of the trace the run will actually reach (greedy
+                // reacts to the slack of *now*; prediction prepares
+                // for the peak). Second, a leaf granted a scaled
+                // (relaxed) tail target tolerates proportionally more
+                // absolute tail, shrinking its prediction.
+                std::vector<std::vector<double>> predicted(
+                    static_cast<size_t>(num_jobs),
+                    std::vector<double>(static_cast<size_t>(n), 0.0));
+                for (int i = 0; i < n; ++i) {
+                    const LcFingerprint fp = FingerprintFor(
+                        specs[i].machine, specs[i].lc.name);
+                    const double peak_leaf_load = std::min(
+                        cfg_.load_high * cfg_.lc.peak_qps /
+                            std::max(specs[i].lc.peak_qps, 1.0),
+                        0.95);
+                    const double amp = 1.0 / (1.0 - peak_leaf_load);
+                    const double scale =
+                        std::max(specs[i].tail_scale, 1e-9);
+                    for (int j = 0; j < num_jobs; ++j) {
+                        const BePressure pressure = PressureOf(
+                            specs[i].machine, cfg_.be_jobs[j]);
+                        predicted[j][i] =
+                            PredictTailFrac(fp, pressure) * amp / scale;
+                    }
+                }
+                scheduler_->SetPredictions(std::move(predicted));
+            }
         }
     }
 
@@ -373,6 +413,8 @@ class ClusterSim
         if (scheduler_ != nullptr) {
             r.be_placements = scheduler_->stats().placements;
             r.be_migrations = scheduler_->stats().migrations;
+            r.be_would_placements = scheduler_->stats().would_placements;
+            r.be_would_migrations = scheduler_->stats().would_migrations;
         }
     }
 

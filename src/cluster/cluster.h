@@ -192,6 +192,10 @@ struct ClusterResult {
     // Cluster-level scheduler activity (zero under static split).
     uint64_t be_placements = 0;  ///< Queue → leaf assignments.
     uint64_t be_migrations = 0;  ///< Leaf → leaf moves.
+    /** predict_only ablation: acted decisions the predictive ranking
+     *  disputed (zero everywhere else). */
+    uint64_t be_would_placements = 0;
+    uint64_t be_would_migrations = 0;
 
     // Chaos / safety harness (zero in clean-weather runs): summed
     // per-leaf invariant violations plus cluster-layer ones (a BE job

@@ -1,0 +1,198 @@
+#include "cluster/fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "exp/characterization.h"
+#include "sim/log.h"
+#include "workloads/lc_configs.h"
+
+namespace heracles::cluster {
+namespace {
+
+/** One saturating antagonist per axis, in FingerprintAxis order. */
+std::vector<exp::AntagonistKind>
+AxisAntagonists()
+{
+    return {exp::AntagonistKind::kLlcBig, exp::AntagonistKind::kDram,
+            exp::AntagonistKind::kHyperThread,
+            exp::AntagonistKind::kCpuPower,
+            exp::AntagonistKind::kNetwork};
+}
+
+/** Probe loads: one mid-load and one high-load cell per axis. Averaging
+ *  the two keeps the sensitivity honest for workloads (ml_cluster)
+ *  whose contention grows super-linearly with load. */
+const std::vector<double>&
+ProbeLoads()
+{
+    static const std::vector<double> loads = {0.4, 0.7};
+    return loads;
+}
+
+/** Fixed rig seed: fingerprints are a property of the (shape, workload)
+ *  pair, never of the scenario that asked. */
+constexpr uint64_t kRigSeed = 7;
+
+/**
+ * Cells are clipped at 300% of the SLO before differencing, the same
+ * clip the paper's characterization maps apply. Past that point the LC
+ * is in queueing collapse and the measured tail is meltdown noise
+ * (how far a queue exploded within the measure window), not a signal —
+ * unclipped, one collapsed cell drowns every other axis and the
+ * *ranking* between workloads is decided by noise magnitudes.
+ */
+constexpr double kCellCap = 3.0;
+
+double
+Clamp01(double v)
+{
+    return std::min(1.0, std::max(0.0, v));
+}
+
+/**
+ * Cache key: every MachineConfig field that shapes the simulation,
+ * *except* the seed — clusters stamp a per-leaf seed into the machine,
+ * and the rig re-seeds deterministically anyway. Keep in sync with
+ * MachineConfig when fields are added (a stale key only costs a
+ * duplicate grid run, never a wrong result).
+ */
+std::string
+CacheKey(const hw::MachineConfig& m, const std::string& lc_name)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s|%d/%d/%d|%.17g/%.17g/%.17g/%.17g/%.17g|%.17g/%.17g/%.17g/"
+        "%.17g/%.17g|%.17g/%d|%.17g/%.17g|%.17g|%lld/%.17g",
+        lc_name.c_str(), m.sockets, m.cores_per_socket,
+        m.threads_per_core, m.nominal_ghz, m.min_ghz, m.turbo_1c_ghz,
+        m.turbo_slope_ghz, m.dvfs_step_ghz, m.tdp_w, m.uncore_w,
+        m.core_idle_w, m.dyn_coeff_w, m.dyn_exp, m.llc_mb_per_socket,
+        m.llc_ways, m.dram_gbps_per_socket, m.dram_knee, m.nic_gbps,
+        static_cast<long long>(m.epoch), m.counter_noise);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+FingerprintAxisName(FingerprintAxis axis)
+{
+    switch (axis) {
+      case FingerprintAxis::kLlc: return "llc";
+      case FingerprintAxis::kDram: return "dram";
+      case FingerprintAxis::kHyperThread: return "hyperthread";
+      case FingerprintAxis::kPower: return "power";
+      case FingerprintAxis::kNetwork: return "network";
+    }
+    return "?";
+}
+
+LcFingerprint
+MeasureLcFingerprint(const hw::MachineConfig& machine,
+                     const workloads::LcParams& lc, sim::Duration warmup,
+                     sim::Duration measure)
+{
+    exp::CharacterizationRig rig(machine, lc, warmup, measure, kRigSeed);
+    const std::vector<double>& loads = ProbeLoads();
+
+    const std::vector<double> base = rig.RunBaselineRow(loads);
+    const std::vector<std::vector<double>> grid =
+        rig.RunGrid(AxisAntagonists(), loads);
+
+    LcFingerprint fp;
+    for (double b : base) fp.baseline += std::min(b, kCellCap);
+    fp.baseline /= static_cast<double>(base.size());
+
+    for (int a = 0; a < kFingerprintAxes; ++a) {
+        double delta = 0.0;
+        for (size_t l = 0; l < loads.size(); ++l) {
+            delta += std::max(0.0, std::min(grid[a][l], kCellCap) -
+                                       std::min(base[l], kCellCap));
+        }
+        fp.sensitivity[a] = delta / static_cast<double>(loads.size());
+    }
+    return fp;
+}
+
+LcFingerprint
+FingerprintFor(const hw::MachineConfig& machine,
+               const std::string& lc_name)
+{
+    static std::mutex mu;
+    static std::map<std::string, LcFingerprint>* cache =
+        new std::map<std::string, LcFingerprint>();
+
+    const std::string key = CacheKey(machine, lc_name);
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+
+    const workloads::LcParams* canonical = nullptr;
+    static std::vector<workloads::LcParams>* all =
+        new std::vector<workloads::LcParams>(workloads::AllLcWorkloads());
+    for (const workloads::LcParams& p : *all) {
+        if (p.name == lc_name) canonical = &p;
+    }
+    HERACLES_CHECK_MSG(canonical != nullptr,
+                       "no canonical LC workload named " << lc_name);
+
+    LcFingerprint fp = MeasureLcFingerprint(machine, *canonical);
+    (*cache)[key] = fp;
+    return fp;
+}
+
+BePressure
+PressureOf(const hw::MachineConfig& machine, const workloads::BeProfile& be)
+{
+    BePressure p;
+
+    // LLC: bubble size relative to one socket's cache, like Bubble-Up's
+    // expanding-balloon probe. A footprint the size of the LLC evicts
+    // everything the way stream-LLC-big does.
+    p.pressure[static_cast<int>(FingerprintAxis::kLlc)] =
+        Clamp01(be.footprint_mb / machine.llc_mb_per_socket);
+
+    // DRAM: per-core streaming demand times the miss fraction — a
+    // footprint that overflows the LLC misses everything, a resident
+    // one still pays its compulsory misses — scaled by the half-socket
+    // core allocation a colocated BE job typically ends up with.
+    const double miss_frac =
+        std::max(be.dram_compulsory_frac,
+                 Clamp01(be.footprint_mb / machine.llc_mb_per_socket));
+    const double be_cores = machine.cores_per_socket / 2.0;
+    p.pressure[static_cast<int>(FingerprintAxis::kDram)] =
+        Clamp01(be.dram_per_core_gbps * miss_frac * be_cores /
+                machine.dram_gbps_per_socket);
+
+    // HyperThread: aggression above 1.0 (no slowdown), saturating at
+    // 1.5 — the grid's spinloop-class antagonists top out there.
+    p.pressure[static_cast<int>(FingerprintAxis::kHyperThread)] =
+        Clamp01((be.ht_aggression - 1.0) / 0.5);
+
+    // Power: intensity relative to the power virus (~2.1).
+    p.pressure[static_cast<int>(FingerprintAxis::kPower)] =
+        Clamp01(be.power_intensity / 2.0);
+
+    // Network: egress demand against the link rate.
+    p.pressure[static_cast<int>(FingerprintAxis::kNetwork)] =
+        Clamp01(be.net_demand_gbps / machine.nic_gbps);
+
+    return p;
+}
+
+double
+PredictTailFrac(const LcFingerprint& fp, const BePressure& be)
+{
+    double tail = fp.baseline;
+    for (int a = 0; a < kFingerprintAxes; ++a) {
+        tail += fp.sensitivity[a] * be.pressure[a];
+    }
+    return tail;
+}
+
+}  // namespace heracles::cluster

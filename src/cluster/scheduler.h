@@ -19,6 +19,16 @@
  *  - kRoundRobin — the slack-blind ablation: place and re-place jobs
  *    in leaf-index rotation, migrating only when the hosting leaf has
  *    BE disabled. Identical mechanics, no slack signal.
+ *  - kPredictive — Bubble-Up/Paragon-style interference prediction:
+ *    place each queued job on the leaf with the lowest *predicted*
+ *    tail fraction for that (job, leaf) pair, from an offline
+ *    fingerprint table (cluster/fingerprint.h) supplied at assembly via
+ *    SetPredictions. Live slack is only a safety veto (a leaf below the
+ *    placement floor is excluded), never the ranking signal — so the
+ *    policy keeps choosing well when telemetry is frozen or a crash
+ *    invalidates history. SchedulerConfig::predict_only turns it into
+ *    the CPI2-style monitoring ablation: the engine *acts* greedy but
+ *    counts every decision where the predictive ranking disagreed.
  *
  * The decision engine is a pure function of its inputs (no RNG, no
  * clock), so placements are deterministic under a fixed seed and unit
@@ -40,6 +50,7 @@ enum class SchedulerPolicy {
     kStaticSplit,  ///< Jobs pinned at assembly (the paper; default).
     kGreedySlack,  ///< Most-slack-first placement + slack migration.
     kRoundRobin,   ///< Slack-blind rotation (ablation).
+    kPredictive,   ///< Fingerprint-predicted tail, slack as veto only.
 };
 
 /** Human-readable policy name ("static-split", "greedy-slack", ...). */
@@ -63,6 +74,40 @@ struct SchedulerConfig {
      *  the hosting controller needs at least one top-level poll to
      *  enable the job at all. */
     int min_resident_ticks = 2;
+
+    /**
+     * A predictive migration needs the destination's predicted tail
+     * fraction to beat the source's by at least this much (the
+     * prediction-space analogue of migrate_min_gain). An eviction
+     * (source leaf starving the job) waives the margin but not the
+     * direction: even a starved job only moves to a leaf predicted
+     * strictly better than the one it is leaving — panic-hopping onto
+     * a worse-fingerprint machine trades zero throughput now for zero
+     * throughput plus churn.
+     */
+    double predict_min_gain = 0.05;
+
+    /**
+     * Predictive placement refuses leaves predicted worse than this
+     * factor times the job's best predicted leaf anywhere in the pod
+     * (crashed or busy leaves included in the reference): when every
+     * machine left standing is a predicted-terrible host, holding the
+     * job queued until a sane one frees up beats feeding it to a leaf
+     * whose controller will starve it on arrival. Greedy has no such
+     * notion and will chase any roomy-looking export — which is
+     * exactly what the stale-telemetry chaos scenarios punish.
+     */
+    double predict_place_tolerance = 1.6;
+
+    /**
+     * CPI2-style monitoring-only ablation (kPredictive only): the
+     * engine decides and acts exactly like kGreedySlack, but computes
+     * the predictive choice alongside every acted decision and counts
+     * the disagreements in SchedulerStats::would_placements /
+     * would_migrations — the "what would prediction have done"
+     * counters, with zero effect on placement.
+     */
+    bool predict_only = false;
 };
 
 /** Placement activity counters (surfaced into ClusterResult). */
@@ -70,6 +115,9 @@ struct SchedulerStats {
     uint64_t ticks = 0;
     uint64_t placements = 0;  ///< Queue → leaf assignments.
     uint64_t migrations = 0;  ///< Leaf → leaf moves.
+    /** predict_only: acted decisions the predictive ranking disputed. */
+    uint64_t would_placements = 0;
+    uint64_t would_migrations = 0;
 };
 
 /**
@@ -102,6 +150,15 @@ class ClusterScheduler
     ClusterScheduler(const SchedulerConfig& cfg, int jobs, int leaves);
 
     /**
+     * Installs the offline prediction table for kPredictive (and the
+     * predict_only ablation): predicted[job][leaf] is the tail fraction
+     * the fingerprint model expects if @c job ran on @c leaf
+     * (cluster/fingerprint.h). Required before the first Tick of a
+     * predictive scheduler; dimensions must match (jobs, leaves).
+     */
+    void SetPredictions(std::vector<std::vector<double>> predicted);
+
+    /**
      * One scheduling period: decides placements for still-queued jobs
      * and migrations for placed ones. @p leaves must have one entry per
      * leaf, index-aligned with the cluster's leaf vector. The returned
@@ -110,7 +167,7 @@ class ClusterScheduler
     std::vector<Move> Tick(const std::vector<LeafState>& leaves);
 
     /** Leaf currently hosting @p job, or -1 while queued. */
-    int LeafOf(int job) const { return assignment_[job]; }
+    int LeafOf(int job) const;
 
     /**
      * Returns @p job to the queue without a Move (its leaf crashed and
@@ -125,13 +182,24 @@ class ClusterScheduler
     const SchedulerConfig& config() const { return cfg_; }
 
   private:
-    /** Best placement target among free leaves, or -1. */
-    int PickLeaf(const std::vector<LeafState>& leaves,
+    /** Best placement target for @p job among free leaves under the
+     *  *acting* policy (greedy rules when predict_only), or -1. */
+    int PickLeaf(int job, const std::vector<LeafState>& leaves,
                  const std::vector<bool>& taken) const;
+
+    /** Free, live leaf with the lowest predicted tail for @p job that
+     *  clears the live-slack safety veto, or -1. */
+    int PickPredicted(int job, const std::vector<LeafState>& leaves,
+                      const std::vector<bool>& taken) const;
+
+    /** True when kPredictive actually ranks (not monitoring-only). */
+    bool PredictsActively() const;
 
     SchedulerConfig cfg_;
     std::vector<int> assignment_;      ///< job -> leaf (-1 = queued).
     std::vector<int> resident_ticks_;  ///< Ticks since job last moved.
+    /** predicted_[job][leaf]: offline fingerprint tail prediction. */
+    std::vector<std::vector<double>> predicted_;
     int rr_cursor_ = 0;
     SchedulerStats stats_;
 };

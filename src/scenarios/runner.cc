@@ -182,6 +182,8 @@ RunCluster(const ScenarioSpec& spec, const RunOptions& opts)
     m.act_set_net_ceil = static_cast<double>(r.actuations.set_net_ceil);
     m.be_placements = static_cast<double>(r.be_placements);
     m.be_migrations = static_cast<double>(r.be_migrations);
+    m.be_would_placements = static_cast<double>(r.be_would_placements);
+    m.be_would_migrations = static_cast<double>(r.be_would_migrations);
     m.invariant_violations =
         static_cast<double>(r.invariant_violations);
     m.faulted_ops = static_cast<double>(r.faulted_ops);
@@ -295,6 +297,7 @@ ClusterConfigFor(const ScenarioSpec& spec, const RunOptions& opts)
         cfg.shards = spec.shards;
     }
     cfg.scheduler.policy = spec.scheduler;
+    cfg.scheduler.predict_only = spec.predict_only;
     cfg.per_leaf_targets = spec.per_leaf_targets;
     cfg.faults = spec.faults;
     if (!spec.be_jobs.empty()) {

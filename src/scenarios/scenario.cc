@@ -37,6 +37,14 @@ MachineVariant(const std::string& name)
                                                << " (default|small|big)");
 }
 
+bool
+ViolationExpected(const ScenarioSpec& spec, double time_scale)
+{
+    if (spec.expect_slo_violation) return true;
+    return spec.expect_violation_at_scale > 0.0 &&
+           time_scale >= spec.expect_violation_at_scale;
+}
+
 std::string
 TopologyName(Topology t)
 {
@@ -87,6 +95,8 @@ ScenarioMetrics::Kv() const
         {"be_ways", be_ways},
         {"be_placements", be_placements},
         {"be_migrations", be_migrations},
+        {"be_would_placements", be_would_placements},
+        {"be_would_migrations", be_would_migrations},
         {"invariant_violations", invariant_violations},
         {"faulted_ops", faulted_ops},
         {"root_target_ms", root_target_ms},
@@ -148,6 +158,8 @@ AssignMetric(ScenarioMetrics* m, const std::string& key, double value)
         {"be_ways", &ScenarioMetrics::be_ways},
         {"be_placements", &ScenarioMetrics::be_placements},
         {"be_migrations", &ScenarioMetrics::be_migrations},
+        {"be_would_placements", &ScenarioMetrics::be_would_placements},
+        {"be_would_migrations", &ScenarioMetrics::be_would_migrations},
         {"invariant_violations", &ScenarioMetrics::invariant_violations},
         {"faulted_ops", &ScenarioMetrics::faulted_ops},
         {"root_target_ms", &ScenarioMetrics::root_target_ms},
@@ -217,6 +229,15 @@ MetricsToJson(const ScenarioMetrics& m)
                                 }),
                  kv.end());
     }
+    if (m.be_would_placements == 0.0 && m.be_would_migrations == 0.0) {
+        kv.erase(std::remove_if(
+                     kv.begin(), kv.end(),
+                     [](const auto& e) {
+                         return e.first == "be_would_placements" ||
+                                e.first == "be_would_migrations";
+                     }),
+                 kv.end());
+    }
     if (m.invariant_violations == 0.0 && m.faulted_ops == 0.0) {
         kv.erase(std::remove_if(
                      kv.begin(), kv.end(),
@@ -258,6 +279,8 @@ MetricsFromJson(const std::string& json, ScenarioMetrics* out)
         (void)unused;
         const bool optional =
             key == "be_placements" || key == "be_migrations" ||
+            key == "be_would_placements" ||
+            key == "be_would_migrations" ||
             key == "invariant_violations" || key == "faulted_ops";
         double v = 0.0;
         if (!FindNumberValue(json, key, &v)) {
@@ -285,7 +308,8 @@ ToleranceFor(const std::string& key)
     // couple of control decisions may flip across compilers/libms.
     if (key == "polls" || key == "be_enables" || key == "be_disables" ||
         key == "core_shrinks" || key == "be_placements" ||
-        key == "be_migrations" || key.rfind("act_", 0) == 0) {
+        key == "be_migrations" || key == "be_would_placements" ||
+        key == "be_would_migrations" || key.rfind("act_", 0) == 0) {
         return {0.15, 3.0};
     }
     // Final allocations move in whole cores/ways.

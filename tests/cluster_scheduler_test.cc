@@ -257,6 +257,198 @@ TEST(Scheduler, ReleasedJobIsReplacedOnALiveLeaf)
     EXPECT_EQ(sched.stats().migrations, 0u);
 }
 
+// --------------------------------------------------------------------------
+// Predictive policy: fingerprint table ranks, live slack only vetoes
+
+TEST(Scheduler, PredictivePlacesByPredictionNotSlack)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;
+    ClusterScheduler sched(cfg, /*jobs=*/1, /*leaves=*/3);
+    // Leaf 0 has the most slack but the worst prediction; leaf 2 is the
+    // fingerprint favorite.
+    sched.SetPredictions({{2.0, 1.8, 1.5}});
+    const auto moves = sched.Tick({Idle(0.9), Idle(0.5), Idle(0.4)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].to, 2);
+}
+
+TEST(Scheduler, PredictiveSlackVetoExcludesPredictedBest)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;
+    ClusterScheduler sched(cfg, 1, 3);
+    sched.SetPredictions({{2.0, 1.8, 1.5}});
+    // The predicted-best leaf sits below the placement floor: reaction
+    // vetoes, prediction falls back to its next choice.
+    const auto moves = sched.Tick({Idle(0.9), Idle(0.5), Idle(0.02)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].to, 1);
+}
+
+TEST(Scheduler, PredictiveToleranceCapHoldsJobQueued)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;  // tolerance 1.6
+    ClusterScheduler sched(cfg, 1, 3);
+    sched.SetPredictions({{1.0, 2.0, 5.0}});
+    // The only sane machine (leaf 0, the cap reference) is down; both
+    // live leaves are predicted past 1.6x the pod best, so the job
+    // holds queued rather than feed a leaf that will starve it.
+    LeafState dead = Idle(0.9);
+    dead.crashed = true;
+    EXPECT_TRUE(sched.Tick({dead, Idle(0.8), Idle(0.7)}).empty());
+    EXPECT_EQ(sched.QueuedJobs(), 1);
+
+    // The sane leaf comes back: the held job lands exactly there.
+    const auto moves = sched.Tick({Idle(0.9), Idle(0.8), Idle(0.7)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].to, 0);
+}
+
+TEST(Scheduler, PredictiveRegretOrdersPlacements)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;
+    ClusterScheduler sched(cfg, /*jobs=*/2, /*leaves=*/3);
+    // Job 0 barely cares where it lands; job 1 loses big unless it gets
+    // leaf 0. Index order would hand leaf 0 to the indifferent job;
+    // regret order places the choosy job first.
+    sched.SetPredictions({{1.0, 1.05, 1.1}, {1.0, 3.0, 3.2}});
+    const auto moves = sched.Tick({Idle(0.5), Idle(0.5), Idle(0.5)});
+    ASSERT_EQ(moves.size(), 2u);
+    EXPECT_EQ(moves[0].job, 1);
+    EXPECT_EQ(moves[0].to, 0);
+    EXPECT_EQ(moves[1].job, 0);
+    EXPECT_EQ(moves[1].to, 1);
+}
+
+TEST(Scheduler, PredictiveStarvedMoveNeedsPredictedBetter)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;
+    cfg.min_resident_ticks = 1;
+    ClusterScheduler sched(cfg, 1, 2);
+    sched.SetPredictions({{2.0, 2.04}});
+    ASSERT_EQ(sched.Tick({Idle(0.5), Idle(0.5)}).size(), 1u);
+    ASSERT_EQ(sched.LeafOf(0), 0);
+
+    // Starved on the fingerprint-best leaf: the only destination is
+    // predicted worse, so the job holds its ground instead of
+    // panic-hopping (the controller will re-enable it; a worse host
+    // never stops being worse).
+    EXPECT_TRUE(sched.Tick({Hosting(0.5, false), Idle(0.9)}).empty());
+    EXPECT_EQ(sched.LeafOf(0), 0);
+}
+
+TEST(Scheduler, PredictiveEvictionWaivesMarginNotDirection)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;  // predict_min_gain 0.05
+    cfg.min_resident_ticks = 1;
+    ClusterScheduler sched(cfg, 1, 2);
+    // Best leaf taken at placement time: the job settles for leaf 1.
+    sched.SetPredictions({{1.98, 2.0}});
+    ASSERT_EQ(sched.Tick({Hosting(0.5, true), Idle(0.5)}).size(), 1u);
+    ASSERT_EQ(sched.LeafOf(0), 1);
+
+    // Tight slack with BE still running: gain 0.02 is under the 0.05
+    // margin, so the hysteresis holds the job.
+    EXPECT_TRUE(sched.Tick({Idle(0.9), Hosting(0.04, true)}).empty());
+
+    // Outright starvation waives the margin: the same 0.02 gain now
+    // moves the job to the predicted-better leaf.
+    const auto moves = sched.Tick({Idle(0.9), Hosting(0.5, false)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].from, 1);
+    EXPECT_EQ(moves[0].to, 0);
+}
+
+TEST(Scheduler, AllLeavesDownEveryPolicyHoldsQueue)
+{
+    // A pod with every leaf crashed (or cooling down) must not spin,
+    // move, or fake-place under any dynamic policy; jobs stay queued
+    // until a leaf actually recovers.
+    for (SchedulerPolicy policy :
+         {SchedulerPolicy::kGreedySlack, SchedulerPolicy::kRoundRobin,
+          SchedulerPolicy::kPredictive}) {
+        SchedulerConfig cfg;
+        cfg.policy = policy;
+        ClusterScheduler sched(cfg, /*jobs=*/1, /*leaves=*/2);
+        if (policy == SchedulerPolicy::kPredictive) {
+            sched.SetPredictions({{1.0, 1.0}});
+        }
+        LeafState dead = Idle(0.9);
+        dead.crashed = true;
+        LeafState cooling = Idle(0.9);
+        cooling.in_cooldown = true;
+
+        EXPECT_TRUE(sched.Tick({dead, dead}).empty())
+            << cluster::SchedulerPolicyName(policy);
+        EXPECT_TRUE(sched.Tick({dead, cooling}).empty())
+            << cluster::SchedulerPolicyName(policy);
+        EXPECT_EQ(sched.QueuedJobs(), 1)
+            << cluster::SchedulerPolicyName(policy);
+
+        // First recovered leaf hosts the queued job — and round-robin's
+        // cursor must not have advanced while everything was down.
+        const auto moves = sched.Tick({Idle(0.9), dead});
+        ASSERT_EQ(moves.size(), 1u)
+            << cluster::SchedulerPolicyName(policy);
+        EXPECT_EQ(moves[0].to, 0) << cluster::SchedulerPolicyName(policy);
+        EXPECT_EQ(sched.QueuedJobs(), 0)
+            << cluster::SchedulerPolicyName(policy);
+    }
+}
+
+TEST(Scheduler, PredictiveReleaseThenReplaceHonorsCap)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;
+    ClusterScheduler sched(cfg, 1, 2);
+    sched.SetPredictions({{1.0, 1.5}});
+    ASSERT_EQ(sched.Tick({Idle(0.5), Idle(0.5)}).size(), 1u);
+    ASSERT_EQ(sched.LeafOf(0), 0);
+
+    // The hosting leaf crashes; the cluster layer hands the job back.
+    sched.ReleaseJob(0);
+    EXPECT_EQ(sched.LeafOf(0), -1);
+    EXPECT_EQ(sched.QueuedJobs(), 1);
+
+    // Re-placement lands on the surviving leaf: predicted 1.5 is within
+    // the 1.6x tolerance of the (dead) pod-best machine.
+    LeafState dead = Idle(0.9);
+    dead.crashed = true;
+    const auto moves = sched.Tick({dead, Idle(0.5)});
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].from, -1);
+    EXPECT_EQ(moves[0].to, 1);
+}
+
+TEST(SchedulerDeath, LeafOfAndReleaseJobRejectBadIndices)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kGreedySlack;
+    ClusterScheduler sched(cfg, /*jobs=*/2, /*leaves=*/3);
+    EXPECT_DEATH(sched.LeafOf(-1), "bad job index");
+    EXPECT_DEATH(sched.LeafOf(2), "bad job index");
+    EXPECT_DEATH(sched.ReleaseJob(-1), "bad job index");
+    EXPECT_DEATH(sched.ReleaseJob(2), "bad job index");
+}
+
+TEST(SchedulerDeath, PredictiveRequiresMatchingTable)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::kPredictive;
+    ClusterScheduler sched(cfg, 1, 2);
+    EXPECT_DEATH(sched.Tick({Idle(0.5), Idle(0.5)}), "SetPredictions");
+    EXPECT_DEATH(sched.SetPredictions({{1.0, 2.0}, {1.0, 2.0}}),
+                 "prediction table");
+    sched.SetPredictions({{1.0}});
+    EXPECT_DEATH(sched.Tick({Idle(0.5), Idle(0.5)}),
+                 "prediction table covers");
+}
+
 TEST(SchedulerDeath, StaticSplitNeverTicks)
 {
     SchedulerConfig cfg;  // kStaticSplit
@@ -403,6 +595,46 @@ TEST(ClusterRefactor, GreedyBeatsStaticSplitOnHeteroDiurnal)
     EXPECT_EQ(greedy.slo_attained, 1.0) << "greedy violated the root SLO";
     EXPECT_GT(greedy.emu, pinned.emu)
         << "slack-aware placement should strictly beat the static split";
+}
+
+TEST(ClusterRefactor, PredictiveBeatsGreedyUnderChaosPairs)
+{
+    // The predictive tier's reason to exist: in the twinned chaos
+    // scenarios (identical cluster, identical fault plan, only the
+    // policy differs) greedy chases a slack export frozen at its happy
+    // pre-crowd snapshot while the fingerprint table never trusted that
+    // leaf. Predictive must win mean EMU in both pairs without giving
+    // back any root-SLO attainment.
+    for (const char* pair : {"blind", "crash"}) {
+        const scenarios::ScenarioMetrics& greedy = GoldenRun(
+            std::string("chaos_hetero_") + pair + "_greedy");
+        const scenarios::ScenarioMetrics& pred =
+            GoldenRun(std::string("chaos_hetero_") + pair + "_pred");
+        EXPECT_GT(pred.emu, greedy.emu)
+            << pair << ": prediction should beat the frozen export";
+        EXPECT_GE(pred.slo_attained, greedy.slo_attained)
+            << pair << ": the EMU win must not cost SLO attainment";
+    }
+}
+
+TEST(ClusterRefactor, PredictiveMonitorActsExactlyLikeGreedy)
+{
+    // predict_only is CPI2-style shadow mode: identical acted decisions
+    // to greedy-slack (same EMU, placements, migrations), plus the
+    // would-have counters recording where prediction disagreed.
+    const scenarios::ScenarioMetrics& greedy =
+        GoldenRun("cluster_hetero_greedy_diurnal");
+    const scenarios::ScenarioMetrics& monitor =
+        GoldenRun("cluster_hetero_pred_monitor");
+    EXPECT_EQ(monitor.emu, greedy.emu);
+    EXPECT_EQ(monitor.be_placements, greedy.be_placements);
+    EXPECT_EQ(monitor.be_migrations, greedy.be_migrations);
+    EXPECT_GE(monitor.be_would_placements +
+                  monitor.be_would_migrations,
+              1.0)
+        << "shadow mode should record at least one disagreement here";
+    EXPECT_EQ(greedy.be_would_placements, 0.0)
+        << "acting policies never count would-haves";
 }
 
 }  // namespace

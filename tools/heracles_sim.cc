@@ -15,6 +15,13 @@
  *                [--list-scenarios] [--scenario NAME|all]
  *                [--scale F] [--json] [--faults SPEC]
  *                [--cluster-jobs N] [--cluster-leaf-batch N]
+ *                [--cluster-policy static-split|greedy-slack|
+ *                                  round-robin|predictive]
+ *
+ * --cluster-policy overrides a cluster scenario's BE scheduling policy
+ * for one run — the command-line form of the scheduler ablation family
+ * (requires a scenario with cluster-wide be_jobs; static-split also
+ * needs a leaf_mix to pin jobs against).
  *
  * With --sweep, runs every listed load (or the paper's 5%..95% grid)
  * instead of a single point, fanning the independent load points across
@@ -74,7 +81,8 @@ Usage(const char* argv0)
                  "[--sweep F,F,...|paper] [--jobs N] "
                  "[--list-scenarios] [--scenario NAME|all] "
                  "[--scale F] [--json] [--faults SPEC] "
-                 "[--cluster-jobs N] [--cluster-leaf-batch N]\n",
+                 "[--cluster-jobs N] [--cluster-leaf-batch N] "
+                 "[--cluster-policy NAME]\n",
                  argv0);
     std::exit(2);
 }
@@ -114,12 +122,17 @@ PrintMetrics(const scenarios::ScenarioMetrics& m)
 }
 
 /** True when the run's SLO outcome is a problem (violations are fine —
- *  expected, even — for ablation scenarios like os-only). */
+ *  expected, even — for ablation scenarios like os-only, and for the
+ *  abrupt step/flash scenarios once the run is long enough that the
+ *  reactive controller physically cannot win; see
+ *  ScenarioSpec::expect_violation_at_scale). */
 bool
 UnexpectedViolation(const scenarios::ScenarioSpec& spec,
-                    const scenarios::ScenarioMetrics& m)
+                    const scenarios::ScenarioMetrics& m,
+                    double time_scale)
 {
-    return m.slo_attained == 0.0 && !spec.expect_slo_violation;
+    return m.slo_attained == 0.0 &&
+           !scenarios::ViolationExpected(spec, time_scale);
 }
 
 /**
@@ -146,10 +159,37 @@ MetricsJsonWithVerdict(const scenarios::ScenarioMetrics& m, int unexpected)
     return one;
 }
 
+/**
+ * Parses a --cluster-policy value; prints an error and returns false on
+ * an unknown name.
+ */
+bool
+ParseClusterPolicy(const std::string& name, cluster::SchedulerPolicy* out)
+{
+    if (name == "static-split") {
+        *out = cluster::SchedulerPolicy::kStaticSplit;
+    } else if (name == "greedy-slack") {
+        *out = cluster::SchedulerPolicy::kGreedySlack;
+    } else if (name == "round-robin") {
+        *out = cluster::SchedulerPolicy::kRoundRobin;
+    } else if (name == "predictive") {
+        *out = cluster::SchedulerPolicy::kPredictive;
+    } else {
+        std::fprintf(stderr,
+                     "error: unknown --cluster-policy '%s' (want "
+                     "static-split|greedy-slack|round-robin|"
+                     "predictive)\n",
+                     name.c_str());
+        return false;
+    }
+    return true;
+}
+
 /** Runs --scenario NAME|all; returns the process exit code. */
 int
 RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
-                int jobs, bool json, const chaos::FaultPlan* faults)
+                int jobs, bool json, const chaos::FaultPlan* faults,
+                const std::string& cluster_policy)
 {
     if (name == "all") {
         if (faults != nullptr) {
@@ -158,15 +198,28 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
                          "not to 'all'\n");
             return 2;
         }
+        if (!cluster_policy.empty()) {
+            std::fprintf(stderr,
+                         "--cluster-policy applies to a single "
+                         "--scenario run, not to 'all'\n");
+            return 2;
+        }
         const auto& specs = scenarios::AllScenarios();
         const auto results = scenarios::RunScenarios(specs, opts, jobs);
-        int unexpected = 0;
+        std::vector<std::string> violating;
         for (size_t i = 0; i < results.size(); ++i) {
-            if (UnexpectedViolation(specs[i], results[i])) ++unexpected;
+            if (UnexpectedViolation(specs[i], results[i],
+                                    opts.time_scale)) {
+                violating.push_back(results[i].scenario);
+            }
         }
+        const int unexpected = static_cast<int>(violating.size());
         if (json) {
             // One JSON document: the per-scenario records plus the
-            // catalog-level unexpected-violation count.
+            // catalog-level violation verdict — count *and* the
+            // offending names (same layout as bench_record), so a
+            // reader of the JSON never needs the run's stderr to know
+            // which scenarios regressed.
             std::printf("{\n\"scenarios\": [\n");
             for (size_t i = 0; i < results.size(); ++i) {
                 std::string one = scenarios::MetricsToJson(results[i]);
@@ -174,8 +227,15 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
                 std::printf("%s%s\n", one.c_str(),
                             i + 1 < results.size() ? "," : "");
             }
-            std::printf("],\n\"unexpected_slo_violations\": %d\n}\n",
-                        unexpected);
+            std::string violating_json = "[";
+            for (size_t i = 0; i < violating.size(); ++i) {
+                violating_json +=
+                    (i > 0 ? ", \"" : "\"") + violating[i] + "\"";
+            }
+            violating_json += "]";
+            std::printf("],\n\"unexpected_slo_violations\": %d,\n"
+                        "\"violating_scenarios\": %s\n}\n",
+                        unexpected, violating_json.c_str());
         } else {
             exp::Table table({"scenario", "tail (% target)", "SLO ok",
                               "EMU", "BE disables"});
@@ -185,7 +245,8 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
                     {m.scenario, exp::FormatTailFrac(m.tail_frac_slo),
                      m.slo_attained > 0.0
                          ? "yes"
-                         : (specs[i].expect_slo_violation
+                         : (scenarios::ViolationExpected(specs[i],
+                                                         opts.time_scale)
                                 ? "violated (expected)"
                                 : "VIOLATED"),
                      exp::FormatPct(m.emu),
@@ -228,8 +289,44 @@ RunScenarioMode(const std::string& name, const scenarios::RunOptions& opts,
         spec.faults = *faults;
         spec.expect_slo_violation = true;
     }
+    if (!cluster_policy.empty()) {
+        cluster::SchedulerPolicy policy;
+        if (!ParseClusterPolicy(cluster_policy, &policy)) return 2;
+        // The override only makes sense where a scheduler actually has
+        // decisions to make: a cluster scenario with a cluster-wide BE
+        // job queue. Silently accepting it elsewhere would report a
+        // "policy ablation" that never ran one.
+        if (spec.topology != scenarios::Topology::kCluster) {
+            std::fprintf(stderr,
+                         "error: --cluster-policy needs a cluster "
+                         "scenario; %s is single-server\n",
+                         spec.name.c_str());
+            return 2;
+        }
+        if (spec.be_jobs.empty()) {
+            std::fprintf(stderr,
+                         "error: --cluster-policy needs a scenario with "
+                         "cluster-wide be_jobs; %s pins its BE work at "
+                         "assembly\n",
+                         spec.name.c_str());
+            return 2;
+        }
+        if (policy == cluster::SchedulerPolicy::kStaticSplit &&
+            spec.leaf_mix.empty()) {
+            std::fprintf(stderr,
+                         "error: static-split needs a leaf_mix to pin "
+                         "jobs against; %s has none\n",
+                         spec.name.c_str());
+            return 2;
+        }
+        spec.scheduler = policy;
+        // The flag fully determines the scheduler arm — a monitor-mode
+        // scenario overridden to any explicit policy runs that policy
+        // for real.
+        spec.predict_only = false;
+    }
     const auto m = scenarios::RunScenario(spec, opts);
-    const bool unexpected = UnexpectedViolation(spec, m);
+    const bool unexpected = UnexpectedViolation(spec, m, opts.time_scale);
     if (json) {
         std::fputs(MetricsJsonWithVerdict(m, unexpected ? 1 : 0).c_str(),
                    stdout);
@@ -308,6 +405,7 @@ main(int argc, char** argv)
     bool cluster_jobs_given = false;
     int cluster_leaf_batch = 0;
     bool cluster_leaf_batch_given = false;
+    std::string cluster_policy;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* {
@@ -396,6 +494,8 @@ main(int argc, char** argv)
             }
             cluster_leaf_batch = static_cast<int>(n);
             cluster_leaf_batch_given = true;
+        } else if (!std::strcmp(argv[i], "--cluster-policy")) {
+            cluster_policy = next();
         } else if (!std::strcmp(argv[i], "--faults")) {
             faults_spec = next();
             faults_given = true;
@@ -409,11 +509,11 @@ main(int argc, char** argv)
 
     if (scenario_name.empty() &&
         (scale_given || json || faults_given || cluster_jobs_given ||
-         cluster_leaf_batch_given)) {
+         cluster_leaf_batch_given || !cluster_policy.empty())) {
         std::fprintf(stderr,
                      "--scale/--json/--faults/--cluster-jobs/"
-                     "--cluster-leaf-batch only apply to --scenario "
-                     "runs\n");
+                     "--cluster-leaf-batch/--cluster-policy only apply "
+                     "to --scenario runs\n");
         return 2;
     }
     chaos::FaultPlan faults;
@@ -449,7 +549,8 @@ main(int argc, char** argv)
                 : (scenario_name == "all" ? 1 : runner::DefaultJobs());
         opts.cluster_leaf_batch = cluster_leaf_batch;
         return RunScenarioMode(scenario_name, opts, jobs, json,
-                               faults_given ? &faults : nullptr);
+                               faults_given ? &faults : nullptr,
+                               cluster_policy);
     }
 
     exp::ExperimentConfig cfg;
